@@ -1,0 +1,167 @@
+// Command mrsch-exp regenerates the paper's evaluation figures (§V) as text
+// tables: the MLP-vs-CNN ablation (Figure 3), curriculum orderings
+// (Figure 4), the four-method comparison (Figures 5-7), dynamic resource
+// prioritizing (Figures 8-9), the three-resource case study (Figure 10),
+// and the Figure 1 motivating example.
+//
+// Usage:
+//
+//	mrsch-exp [-scale quick|standard|tiny] [-fig all|1|3|4|5|6|7|8|9|10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick, standard, or tiny")
+	figFlag := flag.String("fig", "all", "comma-separated figures to run: 1,3,4,5,6,7,8,9,10 or all")
+	seed := flag.Int64("seed", 0, "override campaign seed (0 keeps the scale default)")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "standard":
+		sc = experiments.StandardScale()
+	case "tiny":
+		sc = experiments.QuickScale()
+		sc.Name = "tiny"
+		sc.Div = 64
+		sc.TraceDuration = 0.4 * 86400
+		sc.SetsPerKind = 2
+		sc.SetSize = 30
+	default:
+		fmt.Fprintf(os.Stderr, "mrsch-exp: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	want := map[string]bool{}
+	if *figFlag == "all" {
+		for _, f := range []string{"1", "3", "4", "5", "6", "7", "8", "9", "10", "ablations"} {
+			want[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(*figFlag, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	fmt.Printf("MRSch experiment campaign — scale=%s (Theta/%d, window %d, seed %d)\n\n",
+		sc.Name, sc.Div, sc.Window, sc.Seed)
+	start := time.Now()
+	c := experiments.NewCampaign(sc)
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "mrsch-exp: %v\n", err)
+		os.Exit(1)
+	}
+
+	if want["1"] {
+		r, err := experiments.Figure1()
+		if err != nil {
+			fail(err)
+		}
+		experiments.FprintFigure1(os.Stdout, r)
+		fmt.Println()
+	}
+	if want["3"] {
+		rows, err := experiments.Figure3(c)
+		if err != nil {
+			fail(err)
+		}
+		experiments.FprintFigure3(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want["4"] {
+		series, err := experiments.Figure4(c, "S4")
+		if err != nil {
+			fail(err)
+		}
+		experiments.FprintFigure4(os.Stdout, series)
+		fmt.Println()
+	}
+	var rows56 []experiments.MethodReports
+	if want["5"] || want["6"] || want["7"] {
+		var err error
+		rows56, err = experiments.Figures56(c)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if want["5"] {
+		experiments.FprintFigure5(os.Stdout, rows56)
+		fmt.Println()
+	}
+	if want["6"] {
+		experiments.FprintFigure6(os.Stdout, rows56)
+		fmt.Println()
+	}
+	if want["7"] {
+		experiments.FprintFigure7(os.Stdout, rows56)
+		fmt.Println()
+	}
+	if want["8"] {
+		samples, err := experiments.Figure8(c)
+		if err != nil {
+			fail(err)
+		}
+		experiments.FprintFigure8(os.Stdout, samples)
+		fmt.Println()
+	}
+	if want["9"] {
+		rows, err := experiments.Figure9(c)
+		if err != nil {
+			fail(err)
+		}
+		experiments.FprintFigure9(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want["10"] {
+		rows, err := experiments.Figure10(c)
+		if err != nil {
+			fail(err)
+		}
+		experiments.FprintFigure10(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want["ablations"] {
+		if rows, err := experiments.AblationGoal(c); err != nil {
+			fail(err)
+		} else {
+			experiments.FprintAblation(os.Stdout, "dynamic vs fixed goal vector (S5)", rows)
+		}
+		if rows, err := experiments.AblationStateNets(c.M); err != nil {
+			fail(err)
+		} else {
+			experiments.FprintAblation(os.Stdout, "single vs per-resource state nets (S4)", rows)
+		}
+		if rows, err := experiments.AblationWindow(c.M, nil); err != nil {
+			fail(err)
+		} else {
+			experiments.FprintAblation(os.Stdout, "window size sweep (S4)", rows)
+		}
+		if rows, err := experiments.AblationBackfill(c.M); err != nil {
+			fail(err)
+		} else {
+			experiments.FprintAblation(os.Stdout, "EASY backfilling on/off (S4)", rows)
+		}
+		if rows, err := experiments.AblationPickers(c.M); err != nil {
+			fail(err)
+		} else {
+			experiments.FprintAblation(os.Stdout, "list-scheduling pickers (S4)", rows)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("campaign finished in %v\n", time.Since(start).Round(time.Millisecond))
+}

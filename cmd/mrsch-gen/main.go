@@ -1,0 +1,90 @@
+// Command mrsch-gen generates workload traces: the synthetic Theta-like
+// base trace (§IV-A), a Table III scenario (S1-S5), or a power-extended
+// §V-E scenario (S6-S10), written in the plain-text trace format of
+// internal/job.
+//
+// Usage:
+//
+//	mrsch-gen -scenario base|S1..S10 [-div 16] [-days 2] [-gap 110]
+//	          [-seed 1] [-out trace.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/workload"
+)
+
+func main() {
+	scenario := flag.String("scenario", "base", "base, S1..S5, or S6..S10")
+	div := flag.Int("div", 16, "Theta scale divisor")
+	days := flag.Float64("days", 2, "trace duration in days")
+	gap := flag.Float64("gap", 110, "peak mean inter-arrival seconds")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	sys := workload.ThetaScaled(*div)
+	gcfg := workload.GeneratorConfig{
+		System:           sys,
+		Duration:         *days * 86400,
+		MeanInterarrival: *gap,
+		Seed:             *seed,
+	}
+	base := workload.GenerateBase(gcfg)
+	pool := workload.AssignDarshanBB(base, sys.Capacities[1], *seed+1)
+
+	var jobs []*job.Job
+	var names []string
+	switch {
+	case *scenario == "base":
+		jobs, names = base, sys.Resources
+	default:
+		if sc, err := workload.ScenarioByName(*scenario); err == nil {
+			jobs = workload.Apply(base, pool, sc, sys, *seed+2)
+			names = sys.Resources
+			break
+		}
+		psys := workload.WithPower(sys)
+		found := false
+		for _, psc := range workload.PowerScenarios() {
+			if psc.Name == *scenario {
+				jobs = workload.ApplyPower(base, pool, psc, psys, *seed+2)
+				names = psys.Resources
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "mrsch-gen: unknown scenario %q\n", *scenario)
+			os.Exit(2)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrsch-gen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := job.WriteTrace(w, jobs, names); err != nil {
+		fmt.Fprintf(os.Stderr, "mrsch-gen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mrsch-gen: wrote %d jobs (%s, %s)\n", len(jobs), *scenario, describe(sys, names))
+}
+
+func describe(sys cluster.Config, names []string) string {
+	if len(names) == 3 {
+		return fmt.Sprintf("%d nodes, %d TB bb, power-extended", sys.Capacities[0], sys.Capacities[1])
+	}
+	return fmt.Sprintf("%d nodes, %d TB bb", sys.Capacities[0], sys.Capacities[1])
+}

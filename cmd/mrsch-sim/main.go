@@ -1,0 +1,140 @@
+// Command mrsch-sim replays one workload through one scheduling method and
+// prints the §IV-B metrics. It is the single-run counterpart of mrsch-exp:
+// useful for trying a scheduler on a generated trace file or on a built-in
+// Table III scenario.
+//
+// Usage:
+//
+//	mrsch-sim -method mrsch|optimization|rl|fcfs -workload S1..S10
+//	          [-scale quick|standard] [-model mrsch-s1.model]
+//	mrsch-sim -method fcfs -trace trace.txt -div 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func main() {
+	method := flag.String("method", "fcfs", "mrsch, optimization, rl, or fcfs")
+	wl := flag.String("workload", "S1", "built-in workload S1-S10")
+	traceFile := flag.String("trace", "", "replay a trace file instead of a built-in workload")
+	div := flag.Int("div", 16, "Theta divisor for -trace replays")
+	scaleFlag := flag.String("scale", "quick", "quick or standard")
+	model := flag.String("model", "", "pre-trained MRSch weights (otherwise trains in-process)")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "standard":
+		sc = experiments.StandardScale()
+	default:
+		fmt.Fprintf(os.Stderr, "mrsch-sim: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	sys, jobs, power := loadWorkload(sc, *wl, *traceFile, *div)
+	powerIdx := -1
+	if power {
+		powerIdx = 2
+	}
+
+	var report metrics.Report
+	var err error
+	switch *method {
+	case "fcfs":
+		report, err = experiments.Evaluate(sys, experiments.FCFSPolicy(sc.Window), jobs, experiments.MethodHeuristic, *wl, powerIdx)
+	case "optimization":
+		policy := sched.NewWindowPolicy(experiments.NewGA(sc.Seed+29), sc.Window)
+		report, err = experiments.Evaluate(sys, policy, jobs, experiments.MethodOptimize, *wl, powerIdx)
+	case "rl":
+		m := experiments.Prepare(sc)
+		var agent interface {
+			Policy() *sched.WindowPolicy
+		}
+		agent, err = experiments.TrainScalarRL(m, *wl, sys, power)
+		if err == nil {
+			report, err = experiments.Evaluate(sys, agent.Policy(), jobs, experiments.MethodScalarRL, *wl, powerIdx)
+		}
+	case "mrsch":
+		var agent *core.MRSch
+		agent, err = mrschAgent(sc, *wl, power, *model)
+		if err == nil {
+			report, err = experiments.Evaluate(sys, agent.Policy(), jobs, experiments.MethodMRSch, *wl, powerIdx)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "mrsch-sim: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(report.String())
+}
+
+// loadWorkload resolves either a trace file or a built-in scenario.
+func loadWorkload(sc experiments.Scale, wl, traceFile string, div int) (cluster.Config, []*job.Job, bool) {
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		jobs, err := job.ReadTrace(f)
+		if err != nil {
+			fail(err)
+		}
+		if len(jobs) == 0 {
+			fail(fmt.Errorf("trace %s is empty", traceFile))
+		}
+		if len(jobs[0].Demand) == 3 {
+			return workload.WithPower(workload.ThetaScaled(div)), jobs, true
+		}
+		return workload.ThetaScaled(div), jobs, false
+	}
+	m := experiments.Prepare(sc)
+	for _, name := range experiments.PowerWorkloadNames() {
+		if name == wl {
+			return sc.PowerSystem(), m.PowerWorkload(wl), true
+		}
+	}
+	return sc.System(), m.Workload(wl), false
+}
+
+// mrschAgent loads pre-trained weights or trains in-process.
+func mrschAgent(sc experiments.Scale, wl string, power bool, model string) (*core.MRSch, error) {
+	if model != "" {
+		agent := experiments.NewMRSchUntrained(sc, power)
+		f, err := os.Open(model)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := agent.Load(f); err != nil {
+			return nil, err
+		}
+		return agent, nil
+	}
+	m := experiments.Prepare(sc)
+	if power {
+		return experiments.TrainMRSchPower(m, wl)
+	}
+	agent, _, err := experiments.TrainMRSch(m, wl, false)
+	return agent, err
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "mrsch-sim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command mrsch-train curriculum-trains an MRSch agent for a Table III
+// workload (§III-D: sampled -> real -> synthetic job sets) and saves the
+// network weights for later use by mrsch-sim.
+//
+// Usage:
+//
+//	mrsch-train -workload S4 [-scale quick|standard] [-out mrsch-s4.model]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	wl := flag.String("workload", "S1", "Table III workload (S1-S5)")
+	scaleFlag := flag.String("scale", "quick", "training scale: quick or standard")
+	out := flag.String("out", "", "weights output file (default mrsch-<workload>.model)")
+	cnn := flag.Bool("cnn", false, "use the CNN state module (Figure 3 ablation)")
+	validate := flag.Bool("validate", false, "keep the best weights by validation score (§IV-A protocol)")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "standard":
+		sc = experiments.StandardScale()
+	default:
+		fmt.Fprintf(os.Stderr, "mrsch-train: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	m := experiments.Prepare(sc)
+	fmt.Printf("training MRSch on %s (scale %s: Theta/%d, %d sets x %d jobs per kind)\n",
+		*wl, sc.Name, sc.Div, sc.SetsPerKind, sc.SetSize)
+	var agent *core.MRSch
+	var results []core.EpisodeResult
+	var err error
+	if *validate {
+		var best core.ValidationMetrics
+		agent, results, best, err = experiments.TrainMRSchValidated(m, *wl)
+		if err == nil {
+			fmt.Printf("best validation score %.4f (mean utilization), wait %.2f h, slowdown %.2f\n",
+				best.Score, best.AvgWaitSec/3600, best.AvgSlowdown)
+		}
+	} else {
+		agent, results, err = experiments.TrainMRSch(m, *wl, *cnn)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrsch-train: %v\n", err)
+		os.Exit(1)
+	}
+	for i, r := range results {
+		fmt.Printf("  episode %2d [%s] loss=%.4f eps=%.3f\n", i+1, r.Set, r.Loss, r.Epsilon)
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("mrsch-%s.model", *wl)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrsch-train: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := agent.Save(f); err != nil {
+		fmt.Fprintf(os.Stderr, "mrsch-train: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("saved weights to %s (%d parameters)\n", path, agent.Agent.NumParams())
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "MRSch: Multi-Resource
+// Scheduling for HPC" (Li et al., IEEE CLUSTER 2022).
+//
+// The implementation lives under internal/: the neural-network substrate
+// (nn), the Direct Future Prediction algorithm (dfp), the MRSch agent
+// (core), the CQSim-equivalent event-driven simulator (sim), the scheduling
+// framework with window-based reservation and EASY backfilling (sched), the
+// comparison baselines (ga, rl), the workload generators (workload), the
+// evaluation metrics (metrics), and the figure-regeneration harness
+// (experiments). Executables are under cmd/, runnable walkthroughs under
+// examples/, and the benchmark harness that regenerates every figure of the
+// paper's evaluation is bench_test.go in this directory.
+package repro

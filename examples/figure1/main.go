@@ -1,0 +1,40 @@
+// Figure 1: the paper's motivating example (§I).
+//
+// Four one-hour jobs contend for two resources on an empty system. A method
+// that fixes the priority of each resource (equal weights) greedily packs
+// the "heaviest" jobs first and needs three hours; the ideal complementary
+// pairing — {J1,J3} then {J2,J4} — finishes in two. MRSch's dynamic resource
+// prioritizing exists precisely to escape this trap.
+//
+// Run with:
+//
+//	go run ./examples/figure1
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fmt.Println("Figure 1 — why fixed per-resource priorities fail")
+	fmt.Println()
+	fmt.Println("  job   demand A   demand B")
+	fmt.Println("  J1       55%        10%")
+	fmt.Println("  J2       50%        40%")
+	fmt.Println("  J3       40%        60%")
+	fmt.Println("  J4       50%        10%")
+	fmt.Println()
+
+	r, err := experiments.Figure1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  fixed-weight greedy schedule: %.0f hours ({J3,J2} -> {J1} -> {J4})\n", r.FixedWeightMakespanH)
+	fmt.Printf("  ideal packing:                %.0f hours ({J1,J3} -> {J2,J4})\n", r.OptimalMakespanH)
+	fmt.Println()
+	fmt.Println("Statically weighting multiple resources wastes an hour on this tiny")
+	fmt.Println("queue; MRSch adjusts the goal vector (Eq. 1) to avoid such traps.")
+}

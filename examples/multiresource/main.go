@@ -1,0 +1,73 @@
+// Multi-resource comparison: the paper's §V-C experiment in miniature.
+//
+// Replays one Table III workload (default S4: 75% of jobs request 20-285 TB
+// of burst buffer) through all four scheduling methods — MRSch, the
+// multi-objective GA ("Optimization"), the fixed-weight policy gradient
+// ("Scalar RL"), and FCFS ("Heuristic") — and prints the Figure 5/6 metrics
+// plus the Figure 7 Kiviat areas.
+//
+// Run with:
+//
+//	go run ./examples/multiresource [-workload S1..S5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+func main() {
+	wl := flag.String("workload", "S4", "Table III workload (S1-S5)")
+	flag.Parse()
+
+	sc := experiments.QuickScale()
+	sc.Div = 48 // a bit smaller than the benchmark scale: this is a demo
+	sc.TraceDuration = 0.5 * 86400
+	sc.SetsPerKind = 3
+	sc.SetSize = 50
+
+	fmt.Printf("comparing 4 methods on %s (Theta/%d, %.1f-day trace)\n\n", *wl, sc.Div, sc.TraceDuration/86400)
+	c := experiments.NewCampaign(sc)
+	sys := sc.System()
+	jobs := c.M.Workload(*wl)
+
+	var reports []metrics.Report
+	add := func(r metrics.Report, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports = append(reports, r)
+	}
+
+	agent, err := c.MRSchAgent(*wl, false, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	add(experiments.Evaluate(sys, agent.Policy(), jobs, experiments.MethodMRSch, *wl, -1))
+
+	gaPolicy := sched.NewWindowPolicy(experiments.NewGA(sc.Seed+29), sc.Window)
+	add(experiments.Evaluate(sys, gaPolicy, jobs, experiments.MethodOptimize, *wl, -1))
+
+	rlAgent, err := experiments.TrainScalarRL(c.M, *wl, sys, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	add(experiments.Evaluate(sys, rlAgent.Policy(), jobs, experiments.MethodScalarRL, *wl, -1))
+
+	add(experiments.Evaluate(sys, experiments.FCFSPolicy(sc.Window), jobs, experiments.MethodHeuristic, *wl, -1))
+
+	fmt.Println("           method   node-util    bb-util   avg-wait   slowdown   kiviat-area")
+	areas := experiments.OverallScore(reports, false)
+	for i, rep := range reports {
+		fmt.Printf("%17s   %8.1f%%  %8.1f%%  %7.2f h  %9.2f  %12.3f\n",
+			rep.Method, rep.Utilization[0]*100, rep.Utilization[1]*100,
+			rep.AvgWaitHours(), rep.AvgSlowdown, areas[i])
+	}
+	fmt.Println()
+	fmt.Println("(larger Kiviat area = better overall, as in Figure 7)")
+}

@@ -1,0 +1,62 @@
+// Power-capped scheduling: the §V-E case study with three resources.
+//
+// Extends the machine with a power budget (1 kW units, scaled from Theta's
+// 500 kW), gives every job a power profile of 100-215 W per node, and
+// compares MRSch against FCFS on an S9-style workload (the power-extended
+// S4). The goal vector now has three entries — node, burst-buffer, and power
+// priorities — and MRSch rebalances them as contention shifts.
+//
+// Run with:
+//
+//	go run ./examples/powercap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	sc := experiments.QuickScale()
+	sc.Div = 48
+	sc.TraceDuration = 0.5 * 86400
+	sc.SetsPerKind = 3
+	sc.SetSize = 50
+
+	psys := sc.PowerSystem()
+	fmt.Printf("three-resource system: %d nodes, %d TB burst buffer, %d kW power budget\n\n",
+		psys.Capacities[0], psys.Capacities[1], psys.Capacities[2])
+
+	c := experiments.NewCampaign(sc)
+	jobs := c.M.PowerWorkload("S9")
+
+	agent, err := c.MRSchAgent("S9", false, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mrsch, err := experiments.Evaluate(psys, agent.Policy(), jobs, experiments.MethodMRSch, "S9", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fcfs, err := experiments.Evaluate(psys, experiments.FCFSPolicy(sc.Window), jobs, experiments.MethodHeuristic, "S9", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("    method   node-util    bb-util   avg power   avg-wait   slowdown")
+	printRow := func(r metrics.Report) {
+		fmt.Printf("%10s   %8.1f%%  %8.1f%%  %7.1f kW  %7.2f h  %9.2f\n",
+			r.Method, r.Utilization[0]*100, r.Utilization[1]*100,
+			r.AvgSysPowerKW, r.AvgWaitHours(), r.AvgSlowdown)
+	}
+	printRow(mrsch)
+	printRow(fcfs)
+	fmt.Println()
+	fmt.Println("The site objective of §V-E is to maximize node and burst-buffer")
+	fmt.Println("utilization and the power consumption of running jobs within the")
+	fmt.Println("budget; MRSch extends to R resources by adding measurement and goal")
+	fmt.Println("entries, with no structural change.")
+}

@@ -1,0 +1,249 @@
+// Package cluster models a multi-resource HPC system: a set of schedulable
+// resource pools (compute nodes, burst-buffer capacity, a power budget, ...)
+// with unit-granular accounting, allocation/release, look-ahead queries used
+// by reservation and EASY backfilling, and the per-unit availability data the
+// MRSch state encoding consumes (§III-A of the paper).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Resource identifies a schedulable resource by index. By convention index 0
+// is the primary compute resource (nodes).
+type Resource int
+
+// Config describes a system: resource names and capacities in units. The
+// unit is whatever the administrator chooses (§III-A): a node for CPU, a TB
+// for burst buffer, a kW for power.
+type Config struct {
+	Name       string
+	Resources  []string
+	Capacities []int
+}
+
+// Validate checks the configuration is usable.
+func (c *Config) Validate() error {
+	if len(c.Resources) == 0 {
+		return fmt.Errorf("cluster: config %q has no resources", c.Name)
+	}
+	if len(c.Resources) != len(c.Capacities) {
+		return fmt.Errorf("cluster: config %q has %d resource names but %d capacities", c.Name, len(c.Resources), len(c.Capacities))
+	}
+	for i, cap := range c.Capacities {
+		if cap <= 0 {
+			return fmt.Errorf("cluster: config %q resource %s capacity %d must be positive", c.Name, c.Resources[i], cap)
+		}
+	}
+	return nil
+}
+
+// Alloc records one running job's holdings.
+type Alloc struct {
+	JobID  int
+	Demand []int
+	// Start is when the job began executing.
+	Start float64
+	// EstEnd is Start + the user walltime estimate — the completion time a
+	// scheduler is allowed to plan with (§III-A).
+	EstEnd float64
+}
+
+// Cluster is the live state of a multi-resource system.
+type Cluster struct {
+	cfg    Config
+	free   []int
+	allocs map[int]*Alloc // keyed by job ID
+}
+
+// New creates an idle cluster from cfg. It panics on an invalid config (a
+// configuration is program input, not runtime data).
+func New(cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	free := make([]int, len(cfg.Capacities))
+	copy(free, cfg.Capacities)
+	return &Cluster{cfg: cfg, free: free, allocs: make(map[int]*Alloc)}
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// NumResources returns the number of schedulable resources.
+func (c *Cluster) NumResources() int { return len(c.cfg.Capacities) }
+
+// Capacity returns the total units of resource r.
+func (c *Cluster) Capacity(r int) int { return c.cfg.Capacities[r] }
+
+// Free returns the currently free units of resource r.
+func (c *Cluster) Free(r int) int { return c.free[r] }
+
+// FreeVec returns a copy of the free-units vector.
+func (c *Cluster) FreeVec() []int {
+	out := make([]int, len(c.free))
+	copy(out, c.free)
+	return out
+}
+
+// Used returns capacity-free for resource r.
+func (c *Cluster) Used(r int) int { return c.cfg.Capacities[r] - c.free[r] }
+
+// Usage returns the used fraction of each resource — the paper's
+// measurement vector <Resource A util, Resource B util, ...>.
+func (c *Cluster) Usage() []float64 {
+	out := make([]float64, len(c.free))
+	for r := range out {
+		out[r] = float64(c.Used(r)) / float64(c.cfg.Capacities[r])
+	}
+	return out
+}
+
+// CanFit reports whether demand fits in the currently free resources.
+func (c *Cluster) CanFit(demand []int) bool {
+	if len(demand) != len(c.free) {
+		return false
+	}
+	for r, d := range demand {
+		if d > c.free[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// Allocate reserves demand for jobID from now until an estimated end time.
+// It returns an error if the job is already allocated or does not fit.
+func (c *Cluster) Allocate(jobID int, demand []int, now, estEnd float64) error {
+	if _, ok := c.allocs[jobID]; ok {
+		return fmt.Errorf("cluster: job %d already allocated", jobID)
+	}
+	if len(demand) != len(c.free) {
+		return fmt.Errorf("cluster: job %d demand has %d resources, cluster has %d", jobID, len(demand), len(c.free))
+	}
+	if !c.CanFit(demand) {
+		return fmt.Errorf("cluster: job %d demand %v exceeds free %v", jobID, demand, c.free)
+	}
+	d := make([]int, len(demand))
+	copy(d, demand)
+	for r, need := range d {
+		c.free[r] -= need
+	}
+	c.allocs[jobID] = &Alloc{JobID: jobID, Demand: d, Start: now, EstEnd: estEnd}
+	return nil
+}
+
+// Release frees the resources held by jobID.
+func (c *Cluster) Release(jobID int) error {
+	a, ok := c.allocs[jobID]
+	if !ok {
+		return fmt.Errorf("cluster: job %d not allocated", jobID)
+	}
+	for r, d := range a.Demand {
+		c.free[r] += d
+		if c.free[r] > c.cfg.Capacities[r] {
+			return fmt.Errorf("cluster: release of job %d overflowed resource %d", jobID, r)
+		}
+	}
+	delete(c.allocs, jobID)
+	return nil
+}
+
+// Running returns the live allocations sorted by estimated end time then job
+// ID (a deterministic order for look-ahead and encoding).
+func (c *Cluster) Running() []*Alloc {
+	out := make([]*Alloc, 0, len(c.allocs))
+	for _, a := range c.allocs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EstEnd != out[j].EstEnd {
+			return out[i].EstEnd < out[j].EstEnd
+		}
+		return out[i].JobID < out[j].JobID
+	})
+	return out
+}
+
+// NumRunning returns the number of live allocations.
+func (c *Cluster) NumRunning() int { return len(c.allocs) }
+
+// Reset returns the cluster to idle.
+func (c *Cluster) Reset() {
+	copy(c.free, c.cfg.Capacities)
+	c.allocs = make(map[int]*Alloc)
+}
+
+// EarliestFit returns the earliest time >= now at which demand fits,
+// assuming every running job releases its resources at its estimated end
+// (walltime-based — the scheduler's view). The second return is the free
+// vector at that time. A demand that can never fit (exceeds capacity)
+// returns (-1, nil).
+func (c *Cluster) EarliestFit(demand []int, now float64) (float64, []int) {
+	for r, d := range demand {
+		if d > c.cfg.Capacities[r] {
+			return -1, nil
+		}
+	}
+	free := c.FreeVec()
+	fits := func() bool {
+		for r, d := range demand {
+			if d > free[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if fits() {
+		return now, free
+	}
+	for _, a := range c.Running() {
+		for r, d := range a.Demand {
+			free[r] += d
+		}
+		if fits() {
+			t := a.EstEnd
+			if t < now {
+				t = now
+			}
+			return t, free
+		}
+	}
+	// All running jobs released and it still doesn't fit: impossible since
+	// we checked capacity; defensive fallback.
+	return -1, nil
+}
+
+// FreeAt returns the projected free vector at time t (>= now), assuming
+// estimated-end releases. Used to compute EASY backfilling's shadow free
+// resources.
+func (c *Cluster) FreeAt(t float64) []int {
+	free := c.FreeVec()
+	for _, a := range c.allocs {
+		if a.EstEnd <= t {
+			for r, d := range a.Demand {
+				free[r] += d
+			}
+		}
+	}
+	return free
+}
+
+// CheckInvariants verifies conservation: free + sum(alloc demands) equals
+// capacity for every resource. Tests call this after mutation sequences.
+func (c *Cluster) CheckInvariants() error {
+	for r := range c.free {
+		total := c.free[r]
+		for _, a := range c.allocs {
+			total += a.Demand[r]
+		}
+		if total != c.cfg.Capacities[r] {
+			return fmt.Errorf("cluster: resource %d accounts for %d units, capacity %d", r, total, c.cfg.Capacities[r])
+		}
+		if c.free[r] < 0 {
+			return fmt.Errorf("cluster: resource %d free is negative: %d", r, c.free[r])
+		}
+	}
+	return nil
+}

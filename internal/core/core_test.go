@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/dfp"
+	"repro/internal/job"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func sys() cluster.Config {
+	return cluster.Config{Name: "c", Resources: []string{"nodes", "bb"}, Capacities: []int{16, 8}}
+}
+
+func mk(id int, submit, wall float64, nodes, bb int) *job.Job {
+	return &job.Job{ID: id, Submit: submit, Runtime: wall, Walltime: wall, Demand: []int{nodes, bb}}
+}
+
+func tinyOptions(seed int64) Options {
+	return Options{
+		Window: 4,
+		Seed:   seed,
+		Mutate: func(c *dfp.Config) {
+			c.StateHidden = []int{32}
+			c.StateOut = 16
+			c.ModuleHidden = 8
+			c.StreamHidden = 16
+			c.Offsets = []int{1, 2, 4}
+			c.TemporalWeights = []float64{0, 0.5, 1}
+		},
+	}
+}
+
+func ctxWith(cl *cluster.Cluster, now float64, queue []*job.Job) *sched.PickContext {
+	w := queue
+	if len(w) > 4 {
+		w = w[:4]
+	}
+	return &sched.PickContext{Now: now, Window: w, Queue: queue, Cluster: cl, Usage: cl.Usage()}
+}
+
+func TestGoalVectorUniformWhenIdle(t *testing.T) {
+	cl := cluster.New(sys())
+	g := GoalVector(ctxWith(cl, 0, nil))
+	if len(g) != 2 || g[0] != 0.5 || g[1] != 0.5 {
+		t.Fatalf("idle goal = %v, want uniform", g)
+	}
+}
+
+func TestGoalVectorKnownValues(t *testing.T) {
+	cl := cluster.New(sys())
+	// One queued job: 8/16 nodes for 100s => 50; 4/8 bb for 100s => 50.
+	queue := []*job.Job{mk(1, 0, 100, 8, 4)}
+	g := GoalVector(ctxWith(cl, 0, queue))
+	if math.Abs(g[0]-0.5) > 1e-12 || math.Abs(g[1]-0.5) > 1e-12 {
+		t.Fatalf("balanced goal = %v", g)
+	}
+	// BB-heavy job: nodes 1/16*100 = 6.25; bb 8/8*100 = 100.
+	queue = []*job.Job{mk(2, 0, 100, 1, 8)}
+	g = GoalVector(ctxWith(cl, 0, queue))
+	if g[1] <= g[0] {
+		t.Fatalf("bb contention should dominate: %v", g)
+	}
+	want1 := 100.0 / (100.0 + 6.25)
+	if math.Abs(g[1]-want1) > 1e-9 {
+		t.Fatalf("g[1] = %v, want %v", g[1], want1)
+	}
+}
+
+func TestGoalVectorIncludesRunningJobs(t *testing.T) {
+	cl := cluster.New(sys())
+	// Running job holds all BB with 50s remaining.
+	if err := cl.Allocate(9, []int{1, 8}, 0, 50); err != nil {
+		t.Fatal(err)
+	}
+	g := GoalVector(ctxWith(cl, 0, nil))
+	if g[1] <= g[0] {
+		t.Fatalf("running bb demand ignored: %v", g)
+	}
+	// After the estimate expires, remaining clamps to 0 -> uniform fallback.
+	g = GoalVector(ctxWith(cl, 100, nil))
+	if g[0] != 0.5 {
+		t.Fatalf("overdue running job should contribute nothing: %v", g)
+	}
+}
+
+// Property: the goal vector is always a probability simplex.
+func TestGoalVectorSimplexProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cl := cluster.New(sys())
+		now := float64(rng.Intn(1000))
+		for id := 1; id <= rng.Intn(5); id++ {
+			d := []int{rng.Intn(8) + 1, rng.Intn(6)}
+			if cl.CanFit(d) {
+				_ = cl.Allocate(id, d, now, now+float64(rng.Intn(2000)))
+			}
+		}
+		var queue []*job.Job
+		for i := 0; i < rng.Intn(6); i++ {
+			queue = append(queue, mk(100+i, now, float64(rng.Intn(5000)+1), rng.Intn(16)+1, rng.Intn(9)))
+		}
+		g := GoalVector(ctxWith(cl, now, queue))
+		sum := 0.0
+		for _, v := range g {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMRSchPickRecordsGoal(t *testing.T) {
+	m := New(sys(), tinyOptions(5))
+	cl := cluster.New(sys())
+	queue := []*job.Job{mk(1, 0, 100, 2, 1), mk(2, 0, 100, 4, 2)}
+	var hookGoals [][]float64
+	m.GoalHook = func(now float64, g []float64) { hookGoals = append(hookGoals, g) }
+	pick := m.Pick(ctxWith(cl, 0, queue))
+	if pick < 0 || pick >= 2 {
+		t.Fatalf("pick = %d out of window", pick)
+	}
+	if m.LastGoal == nil || len(hookGoals) != 1 {
+		t.Fatal("goal not recorded")
+	}
+}
+
+func TestMRSchEndToEndSimulation(t *testing.T) {
+	// An untrained agent must still schedule every job (the framework
+	// guarantees progress via reservation + backfilling).
+	m := New(sys(), tinyOptions(7))
+	rng := rand.New(rand.NewSource(3))
+	var jobs []*job.Job
+	clk := 0.0
+	for i := 1; i <= 40; i++ {
+		clk += float64(rng.Intn(60))
+		jobs = append(jobs, mk(i, clk, float64(rng.Intn(500)+10), rng.Intn(16)+1, rng.Intn(9)))
+	}
+	s := sim.New(sys(), m.Policy())
+	if err := s.Load(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.State != job.Finished {
+			t.Fatalf("job %d not finished", j.ID)
+		}
+	}
+}
+
+func TestTrainEpisodeAccumulatesExperienceAndLoss(t *testing.T) {
+	m := New(sys(), tinyOptions(11))
+	rng := rand.New(rand.NewSource(4))
+	var jobs []*job.Job
+	clk := 0.0
+	for i := 1; i <= 30; i++ {
+		clk += float64(rng.Intn(40))
+		jobs = append(jobs, mk(i, clk, float64(rng.Intn(300)+10), rng.Intn(12)+1, rng.Intn(7)))
+	}
+	cfg := TrainConfig{System: sys(), StepsPerEpisode: 4}
+	res, err := TrainEpisode(m, cfg, JobSet{Kind: Sampled, Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Agent.ReplaySize() == 0 {
+		t.Fatal("no experiences recorded")
+	}
+	if res.Loss < 0 {
+		t.Fatal("no training happened")
+	}
+	if res.Epsilon >= 1.0 {
+		t.Fatal("epsilon did not decay")
+	}
+	if m.Train {
+		t.Fatal("Train flag must be reset after the episode")
+	}
+}
+
+func TestTrainCurriculumRunsAllSets(t *testing.T) {
+	m := New(sys(), tinyOptions(13))
+	rng := rand.New(rand.NewSource(5))
+	mkSet := func(kind JobSetKind) JobSet {
+		var jobs []*job.Job
+		clk := 0.0
+		for i := 1; i <= 15; i++ {
+			clk += float64(rng.Intn(40))
+			jobs = append(jobs, mk(i, clk, float64(rng.Intn(200)+10), rng.Intn(10)+1, rng.Intn(5)))
+		}
+		return JobSet{Kind: kind, Jobs: jobs}
+	}
+	sets := []JobSet{mkSet(Sampled), mkSet(Real), mkSet(Synthetic)}
+	results, err := TrainCurriculum(m, TrainConfig{System: sys(), StepsPerEpisode: 2}, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Set != Sampled || results[2].Set != Synthetic {
+		t.Fatal("set kinds not preserved in order")
+	}
+}
+
+func TestSaveLoadPreservesDecisions(t *testing.T) {
+	m := New(sys(), tinyOptions(17))
+	cl := cluster.New(sys())
+	queue := []*job.Job{mk(1, 0, 100, 2, 1), mk(2, 0, 50, 8, 4), mk(3, 0, 10, 1, 0)}
+	want := m.Pick(ctxWith(cl, 0, queue))
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(sys(), tinyOptions(999))
+	if err := m2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Pick(ctxWith(cl, 0, queue)); got != want {
+		t.Fatalf("restored agent picked %d, original %d", got, want)
+	}
+}
+
+func TestJobSetKindString(t *testing.T) {
+	if Sampled.String() != "Sampled" || Real.String() != "Real" || Synthetic.String() != "Synthetic" {
+		t.Fatal("kind strings wrong")
+	}
+}
+
+func TestNewDefaultWindow(t *testing.T) {
+	m := New(sys(), Options{Seed: 1, Mutate: func(c *dfp.Config) {
+		c.StateHidden = []int{16}
+		c.StateOut = 8
+		c.ModuleHidden = 4
+		c.StreamHidden = 8
+	}})
+	if m.Enc.Window != 10 {
+		t.Fatalf("default window = %d, want 10 (paper)", m.Enc.Window)
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"repro/internal/sched"
+)
+
+// GoalVector computes the dynamic resource priorities of Eq. (1):
+//
+//	r_j = sum_i P_ij * t_i / sum_j sum_i P_ij * t_i
+//
+// over all jobs in the system — queued jobs contribute their full
+// user-supplied runtime estimate, running jobs their remaining estimate —
+// where P_ij is job i's demand for resource j as a fraction of capacity.
+// The value r_j is the normalized time it would take to drain all pending
+// demand for resource j at full utilization: the fiercer the contention for
+// a resource, the larger its weight (§III-B).
+//
+// The result is a probability simplex (non-negative, sums to 1); with no
+// load at all it falls back to uniform weights.
+func GoalVector(ctx *sched.PickContext) []float64 {
+	r := ctx.Cluster.NumResources()
+	acc := make([]float64, r)
+
+	for _, j := range ctx.Queue {
+		for res := 0; res < r; res++ {
+			p := float64(j.Demand[res]) / float64(ctx.Cluster.Capacity(res))
+			acc[res] += p * j.Walltime
+		}
+	}
+	for _, a := range ctx.Cluster.Running() {
+		remaining := a.EstEnd - ctx.Now
+		if remaining < 0 {
+			remaining = 0
+		}
+		for res := 0; res < r; res++ {
+			p := float64(a.Demand[res]) / float64(ctx.Cluster.Capacity(res))
+			acc[res] += p * remaining
+		}
+	}
+
+	var total float64
+	for _, v := range acc {
+		total += v
+	}
+	if total <= 0 {
+		uniform := make([]float64, r)
+		for i := range uniform {
+			uniform[i] = 1 / float64(r)
+		}
+		return uniform
+	}
+	for i := range acc {
+		acc[i] /= total
+	}
+	return acc
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// This file implements the paper's model-validation protocol (§IV-A): the
+// trace is split chronologically into training, validation, and test
+// portions; during training the agent is periodically evaluated greedily on
+// the validation workload and the best-scoring weights are kept.
+
+// ValidationMetrics summarizes one greedy evaluation on a held-out set.
+type ValidationMetrics struct {
+	// Utilization per resource, and the user-level metrics of §IV-B.
+	Utilization []float64
+	AvgWaitSec  float64
+	AvgSlowdown float64
+	// Score is the model-selection criterion: mean resource utilization
+	// (the site objective the agent is trained to maximize).
+	Score float64
+}
+
+// Validate replays jobs through the agent greedily (no exploration, no
+// recording) and scores the outcome.
+func Validate(m *MRSch, sys cluster.Config, jobs []*job.Job) (ValidationMetrics, error) {
+	wasTraining := m.Train
+	m.Train = false
+	defer func() { m.Train = wasTraining }()
+
+	s := sim.New(sys, m.Policy())
+	if err := s.Load(job.CloneAll(jobs)); err != nil {
+		return ValidationMetrics{}, fmt.Errorf("core: validate: %w", err)
+	}
+	if err := s.Run(); err != nil {
+		return ValidationMetrics{}, fmt.Errorf("core: validate: %w", err)
+	}
+	var vm ValidationMetrics
+	for r := 0; r < s.Cluster().NumResources(); r++ {
+		u := s.Utilization(r)
+		vm.Utilization = append(vm.Utilization, u)
+		vm.Score += u
+	}
+	vm.Score /= float64(len(vm.Utilization))
+	var wait, sd float64
+	for _, j := range s.Finished() {
+		wait += j.Wait()
+		sd += j.Slowdown()
+	}
+	if n := len(s.Finished()); n > 0 {
+		vm.AvgWaitSec = wait / float64(n)
+		vm.AvgSlowdown = sd / float64(n)
+	}
+	return vm, nil
+}
+
+// SelectionConfig extends TrainConfig with a validation workload.
+type SelectionConfig struct {
+	TrainConfig
+	// Validation is the held-out workload scored after every Every
+	// episodes (Every <= 0 means every episode).
+	Validation []*job.Job
+	Every      int
+}
+
+// TrainCurriculumWithSelection trains over the ordered job sets while
+// tracking validation score, and restores the best-scoring weights at the
+// end — the paper's §IV-A protocol. It returns the per-episode results and
+// the best validation metrics observed.
+func TrainCurriculumWithSelection(m *MRSch, cfg SelectionConfig, sets []JobSet) ([]EpisodeResult, ValidationMetrics, error) {
+	every := cfg.Every
+	if every <= 0 {
+		every = 1
+	}
+	var best ValidationMetrics
+	var bestWeights []byte
+	results := make([]EpisodeResult, 0, len(sets))
+	for i, set := range sets {
+		r, err := TrainEpisode(m, cfg.TrainConfig, set)
+		if err != nil {
+			return results, best, fmt.Errorf("core: selection episode %d: %w", i, err)
+		}
+		results = append(results, r)
+		if len(cfg.Validation) == 0 || (i+1)%every != 0 {
+			continue
+		}
+		vm, err := Validate(m, cfg.System, cfg.Validation)
+		if err != nil {
+			return results, best, err
+		}
+		if bestWeights == nil || vm.Score > best.Score {
+			best = vm
+			var buf bytes.Buffer
+			if err := m.Save(&buf); err != nil {
+				return results, best, err
+			}
+			bestWeights = buf.Bytes()
+		}
+	}
+	if bestWeights != nil {
+		if err := m.Load(bytes.NewReader(bestWeights)); err != nil {
+			return results, best, err
+		}
+	}
+	return results, best, nil
+}

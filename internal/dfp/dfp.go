@@ -1,0 +1,479 @@
+// Package dfp implements Direct Future Prediction (Dosovitskiy & Koltun,
+// ICLR 2017), the multi-objective reinforcement-learning algorithm MRSch is
+// built on (§II-B of the paper). A DFP agent is trained to predict, for each
+// candidate action, how a vector of measurements will change at several
+// temporal offsets into the future, conditioned on the current sensory
+// state, the current measurements, and a goal vector expressing the relative
+// importance of each measurement. Acting greedily means choosing the action
+// whose predicted future-measurement changes score highest under the goal.
+//
+// The network follows the paper's architecture: three input modules (state,
+// measurement, goal) whose outputs are concatenated into a joint
+// representation, processed by two parallel streams — an expectation stream
+// and an action stream normalized across actions (the dueling decomposition
+// of Wang et al.) — and summed into per-action predictions. The state module
+// is an MLP in MRSch; the original DFP's convolutional module is provided as
+// an option for the Figure 3 ablation.
+package dfp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// Config describes a DFP agent. Zero fields take defaults (see New).
+type Config struct {
+	// StateDim is the length of the state vector (from internal/encode).
+	StateDim int
+	// Measurements is M, the number of tracked objectives (resource
+	// utilizations).
+	Measurements int
+	// Actions is the number of candidate actions (the window size W).
+	Actions int
+
+	// Offsets are the temporal offsets (in decision steps) at which future
+	// measurement changes are predicted.
+	Offsets []int
+	// TemporalWeights weight each offset when scoring actions; the DFP
+	// paper emphasizes the far future ([0,0,0,0.5,0.5,1]).
+	TemporalWeights []float64
+
+	// StateHidden are the state-module layer widths. The paper's full-scale
+	// Theta network is [4000, 1000]; experiments default to a scaled stack.
+	StateHidden []int
+	// StateOut is the state module's output width (512 in the paper).
+	StateOut int
+	// ModuleHidden is the width of the 3-layer measurement and goal modules
+	// (128 in the paper).
+	ModuleHidden int
+	// StreamHidden is the hidden width of the expectation/action streams.
+	StreamHidden int
+
+	// UseCNN selects the original DFP convolutional state module instead of
+	// MRSch's MLP (Figure 3 ablation).
+	UseCNN bool
+	// CNNChannels/CNNKernel/CNNStride/CNNPool fix the conv geometry.
+	CNNChannels, CNNKernel, CNNStride, CNNPool int
+
+	// StateModule, when non-nil, replaces the built-in state module with a
+	// caller-provided network mapping StateDim inputs to StateOut outputs.
+	// Used for the §III-A one-net-vs-per-resource-nets ablation, where the
+	// caller knows the encoding layout. Takes precedence over UseCNN.
+	StateModule nn.Layer
+
+	// LR is the Adam learning rate.
+	LR float64
+	// GradClip caps per-parameter gradient L2 norms (0 disables).
+	GradClip float64
+	// EpsStart/EpsDecay/EpsMin drive the epsilon-greedy exploration
+	// schedule; the paper uses eps=1.0 decaying by 0.995 (§IV-C).
+	EpsStart, EpsDecay, EpsMin float64
+	// ReplayCap bounds the experience buffer.
+	ReplayCap int
+	// BatchSize is the minibatch size per training step.
+	BatchSize int
+	// Seed makes the agent deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the experiment-scale configuration for a given
+// state dimension, measurement count, and action count.
+func DefaultConfig(stateDim, measurements, actions int) Config {
+	return Config{
+		StateDim:        stateDim,
+		Measurements:    measurements,
+		Actions:         actions,
+		Offsets:         []int{1, 2, 4, 8, 16, 32},
+		TemporalWeights: []float64{0, 0, 0, 0.5, 0.5, 1},
+		StateHidden:     []int{128, 64},
+		StateOut:        64,
+		ModuleHidden:    32,
+		StreamHidden:    64,
+		CNNChannels:     8,
+		CNNKernel:       8,
+		CNNStride:       4,
+		CNNPool:         2,
+		LR:              1e-3,
+		GradClip:        5,
+		EpsStart:        1.0,
+		EpsDecay:        0.995,
+		EpsMin:          0.02,
+		ReplayCap:       20000,
+		BatchSize:       32,
+		Seed:            1,
+	}
+}
+
+// PaperScaleConfig returns the full-scale network of §IV-C: state module
+// 4000/1000 hidden with a 512-wide output, 128-wide measurement and goal
+// modules. Used by the decision-latency benchmark (§V-F).
+func PaperScaleConfig(stateDim, measurements, actions int) Config {
+	cfg := DefaultConfig(stateDim, measurements, actions)
+	cfg.StateHidden = []int{4000, 1000}
+	cfg.StateOut = 512
+	cfg.ModuleHidden = 128
+	cfg.StreamHidden = 512
+	return cfg
+}
+
+// PredDim returns the length of the per-action prediction vector
+// (offsets x measurements).
+func (c *Config) PredDim() int { return len(c.Offsets) * c.Measurements }
+
+// GoalDim returns the network's goal-input length (same as PredDim: the
+// per-measurement goal extended across offsets by the temporal weights).
+func (c *Config) GoalDim() int { return c.PredDim() }
+
+func (c *Config) validate() error {
+	if c.StateDim <= 0 || c.Measurements <= 0 || c.Actions <= 0 {
+		return fmt.Errorf("dfp: dims must be positive: state=%d meas=%d actions=%d",
+			c.StateDim, c.Measurements, c.Actions)
+	}
+	if len(c.Offsets) == 0 {
+		return fmt.Errorf("dfp: no temporal offsets")
+	}
+	if len(c.TemporalWeights) != len(c.Offsets) {
+		return fmt.Errorf("dfp: %d temporal weights for %d offsets", len(c.TemporalWeights), len(c.Offsets))
+	}
+	prev := 0
+	for _, o := range c.Offsets {
+		if o <= prev {
+			return fmt.Errorf("dfp: offsets must be strictly increasing and positive, got %v", c.Offsets)
+		}
+		prev = o
+	}
+	return nil
+}
+
+// Agent is a DFP agent.
+type Agent struct {
+	cfg Config
+
+	stateNet nn.Layer
+	measNet  *nn.Sequential
+	goalNet  *nn.Sequential
+	expNet   *nn.Sequential // joint -> PredDim
+	actNet   *nn.Sequential // joint -> Actions*PredDim
+
+	params []*nn.Param
+	opt    *nn.Adam
+	rng    *rand.Rand
+
+	eps     float64
+	replay  *replay
+	episode []*stepRecord
+
+	trainSteps int
+}
+
+type stepRecord struct {
+	state  []float64
+	meas   []float64
+	goal   []float64 // extended goal (PredDim)
+	action int
+	valid  int // number of valid actions at that step
+}
+
+// New constructs an agent. It panics on an invalid configuration.
+func New(cfg Config) *Agent {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	a := &Agent{
+		cfg:    cfg,
+		rng:    rng,
+		eps:    cfg.EpsStart,
+		replay: newReplay(cfg.ReplayCap),
+	}
+	a.stateNet = buildStateModule(&cfg, rng)
+	h := cfg.ModuleHidden
+	a.measNet = nn.NewSequential(cfg.Measurements,
+		nn.NewDense(cfg.Measurements, h, nn.HeInit, rng), nn.NewLeakyReLU(0.01),
+		nn.NewDense(h, h, nn.HeInit, rng), nn.NewLeakyReLU(0.01),
+		nn.NewDense(h, h, nn.HeInit, rng),
+	)
+	a.goalNet = nn.NewSequential(cfg.GoalDim(),
+		nn.NewDense(cfg.GoalDim(), h, nn.HeInit, rng), nn.NewLeakyReLU(0.01),
+		nn.NewDense(h, h, nn.HeInit, rng), nn.NewLeakyReLU(0.01),
+		nn.NewDense(h, h, nn.HeInit, rng),
+	)
+	jointDim := cfg.StateOut + 2*h
+	a.expNet = nn.NewSequential(jointDim,
+		nn.NewDense(jointDim, cfg.StreamHidden, nn.HeInit, rng), nn.NewLeakyReLU(0.01),
+		nn.NewDense(cfg.StreamHidden, cfg.PredDim(), nn.XavierInit, rng),
+	)
+	a.actNet = nn.NewSequential(jointDim,
+		nn.NewDense(jointDim, cfg.StreamHidden, nn.HeInit, rng), nn.NewLeakyReLU(0.01),
+		nn.NewDense(cfg.StreamHidden, cfg.Actions*cfg.PredDim(), nn.XavierInit, rng),
+	)
+	for _, net := range []nn.Layer{a.stateNet, a.measNet, a.goalNet, a.expNet, a.actNet} {
+		a.params = append(a.params, net.Params()...)
+	}
+	a.opt = nn.NewAdam(cfg.LR)
+	return a
+}
+
+func buildStateModule(cfg *Config, rng *rand.Rand) nn.Layer {
+	if cfg.StateModule != nil {
+		if got := cfg.StateModule.OutSize(cfg.StateDim); got != cfg.StateOut {
+			panic(fmt.Sprintf("dfp: custom state module outputs %d, config wants %d", got, cfg.StateOut))
+		}
+		return cfg.StateModule
+	}
+	if cfg.UseCNN {
+		conv := nn.NewConv1D(1, cfg.StateDim, cfg.CNNChannels, cfg.CNNKernel, cfg.CNNStride, rng)
+		pool := nn.NewMaxPool1D(cfg.CNNChannels, conv.OutLen(), cfg.CNNPool)
+		flat := cfg.CNNChannels * pool.OutLen()
+		return nn.NewSequential(cfg.StateDim,
+			conv, nn.NewLeakyReLU(0.01),
+			pool,
+			nn.NewDense(flat, cfg.StateOut, nn.HeInit, rng),
+		)
+	}
+	layers := []nn.Layer{}
+	in := cfg.StateDim
+	for _, hdim := range cfg.StateHidden {
+		layers = append(layers, nn.NewDense(in, hdim, nn.HeInit, rng), nn.NewLeakyReLU(0.01))
+		in = hdim
+	}
+	layers = append(layers, nn.NewDense(in, cfg.StateOut, nn.HeInit, rng))
+	return nn.NewSequential(cfg.StateDim, layers...)
+}
+
+// Config returns the agent's configuration.
+func (a *Agent) Config() Config { return a.cfg }
+
+// Epsilon returns the current exploration rate.
+func (a *Agent) Epsilon() float64 { return a.eps }
+
+// NumParams returns the number of learnable scalars across all modules.
+func (a *Agent) NumParams() int {
+	n := 0
+	for _, p := range a.params {
+		n += len(p.Value)
+	}
+	return n
+}
+
+// ExtendGoal expands a per-measurement goal vector across the temporal
+// offsets using the configured temporal weights, producing the network's
+// goal input (and the scoring weights for action selection).
+func (a *Agent) ExtendGoal(goal []float64) []float64 {
+	if len(goal) != a.cfg.Measurements {
+		panic(fmt.Sprintf("dfp: goal has %d entries, want %d", len(goal), a.cfg.Measurements))
+	}
+	out := make([]float64, 0, a.cfg.GoalDim())
+	for k := range a.cfg.Offsets {
+		w := a.cfg.TemporalWeights[k]
+		for _, g := range goal {
+			out = append(out, w*g)
+		}
+	}
+	return out
+}
+
+// forward runs the full network and returns per-action predictions, each of
+// length PredDim. The layers retain forward state, so backwardFromPredGrads
+// may be called immediately afterwards.
+func (a *Agent) forward(state, meas, goalExt []float64) [][]float64 {
+	js := a.stateNet.Forward(state)
+	jm := a.measNet.Forward(meas)
+	jg := a.goalNet.Forward(goalExt)
+	joint := nn.Concat(js, jm, jg)
+	exp := a.expNet.Forward(joint)
+	act := a.actNet.Forward(joint)
+
+	pd := a.cfg.PredDim()
+	// Dueling combine: p_a = E + A_a - mean_a(A).
+	meanA := make([]float64, pd)
+	for ai := 0; ai < a.cfg.Actions; ai++ {
+		row := act[ai*pd : (ai+1)*pd]
+		for k, v := range row {
+			meanA[k] += v
+		}
+	}
+	for k := range meanA {
+		meanA[k] /= float64(a.cfg.Actions)
+	}
+	preds := make([][]float64, a.cfg.Actions)
+	for ai := 0; ai < a.cfg.Actions; ai++ {
+		row := act[ai*pd : (ai+1)*pd]
+		p := make([]float64, pd)
+		for k := range p {
+			p[k] = exp[k] + row[k] - meanA[k]
+		}
+		preds[ai] = p
+	}
+	return preds
+}
+
+// backwardFromPredGrads backpropagates gradients of the loss with respect to
+// the per-action predictions through the dueling combine, both streams, the
+// concatenation, and the three input modules, accumulating parameter
+// gradients.
+func (a *Agent) backwardFromPredGrads(grads [][]float64) {
+	pd := a.cfg.PredDim()
+	n := a.cfg.Actions
+
+	gradExp := make([]float64, pd)
+	sumGrad := make([]float64, pd)
+	for ai := 0; ai < n; ai++ {
+		for k, g := range grads[ai] {
+			gradExp[k] += g
+			sumGrad[k] += g
+		}
+	}
+	gradAct := make([]float64, n*pd)
+	for ai := 0; ai < n; ai++ {
+		for k, g := range grads[ai] {
+			gradAct[ai*pd+k] = g - sumGrad[k]/float64(n)
+		}
+	}
+
+	gJointExp := a.expNet.Backward(gradExp)
+	gJointAct := a.actNet.Backward(gradAct)
+	gJoint := nn.Add(gJointExp, gJointAct)
+
+	so := a.cfg.StateOut
+	h := a.cfg.ModuleHidden
+	a.stateNet.Backward(gJoint[:so])
+	a.measNet.Backward(gJoint[so : so+h])
+	a.goalNet.Backward(gJoint[so+h:])
+}
+
+// Predict returns the per-action predicted future-measurement changes for
+// the given inputs (inference only).
+func (a *Agent) Predict(state, meas, goalExt []float64) [][]float64 {
+	return a.forward(state, meas, goalExt)
+}
+
+// Score collapses predictions into one scalar objective per action:
+// the dot product of the extended goal with each action's prediction.
+func (a *Agent) Score(preds [][]float64, goalExt []float64) []float64 {
+	out := make([]float64, len(preds))
+	for i, p := range preds {
+		out[i] = nn.Dot(goalExt, p)
+	}
+	return out
+}
+
+// Act selects an action among the first valid actions. In training mode it
+// follows the epsilon-greedy policy of §IV-C; otherwise it acts greedily on
+// the predicted outcomes.
+func (a *Agent) Act(state, meas, goal []float64, valid int, train bool) int {
+	if valid <= 0 || valid > a.cfg.Actions {
+		valid = a.cfg.Actions
+	}
+	goalExt := a.ExtendGoal(goal)
+	var action int
+	if train && a.rng.Float64() < a.eps {
+		action = a.rng.Intn(valid)
+	} else {
+		scores := a.Score(a.forward(state, meas, goalExt), goalExt)
+		action = nn.ArgMax(scores[:valid])
+	}
+	if train {
+		a.episode = append(a.episode, &stepRecord{
+			state:  append([]float64(nil), state...),
+			meas:   append([]float64(nil), meas...),
+			goal:   goalExt,
+			action: action,
+			valid:  valid,
+		})
+	}
+	return action
+}
+
+// EndEpisode converts the recorded episode into replay experiences: for each
+// step, the target is the realized measurement change at every temporal
+// offset, with offsets that run past the episode end masked out. It then
+// decays epsilon.
+func (a *Agent) EndEpisode() {
+	steps := a.episode
+	a.episode = nil
+	pd := a.cfg.PredDim()
+	m := a.cfg.Measurements
+	for t, st := range steps {
+		target := make([]float64, pd)
+		mask := make([]bool, pd)
+		any := false
+		for k, off := range a.cfg.Offsets {
+			tf := t + off
+			if tf >= len(steps) {
+				continue
+			}
+			for mi := 0; mi < m; mi++ {
+				target[k*m+mi] = steps[tf].meas[mi] - st.meas[mi]
+				mask[k*m+mi] = true
+			}
+			any = true
+		}
+		if !any {
+			continue
+		}
+		a.replay.add(&Experience{
+			State: st.state, Meas: st.meas, Goal: st.goal,
+			Action: st.action, Target: target, Mask: mask,
+		})
+	}
+	a.eps *= a.cfg.EpsDecay
+	if a.eps < a.cfg.EpsMin {
+		a.eps = a.cfg.EpsMin
+	}
+}
+
+// ReplaySize returns the number of stored experiences.
+func (a *Agent) ReplaySize() int { return a.replay.len() }
+
+// TrainStep samples one minibatch from replay, regresses the taken actions'
+// predictions toward the realized future changes (masked MSE), and applies
+// one Adam update. It returns the mean per-sample loss, or -1 if the replay
+// buffer is still empty.
+func (a *Agent) TrainStep() float64 {
+	if a.replay.len() == 0 {
+		return -1
+	}
+	batch := a.cfg.BatchSize
+	if batch > a.replay.len() {
+		batch = a.replay.len()
+	}
+	pd := a.cfg.PredDim()
+	total := 0.0
+	for b := 0; b < batch; b++ {
+		e := a.replay.sample(a.rng)
+		preds := a.forward(e.State, e.Meas, e.Goal)
+		loss, grad := nn.MaskedMSE(preds[e.Action], e.Target, e.Mask)
+		total += loss
+		grads := make([][]float64, a.cfg.Actions)
+		zero := make([]float64, pd)
+		for ai := range grads {
+			if ai == e.Action {
+				grads[ai] = grad
+			} else {
+				grads[ai] = zero
+			}
+		}
+		a.backwardFromPredGrads(grads)
+	}
+	// Average accumulated gradients over the minibatch.
+	for _, p := range a.params {
+		nn.Scale(p.Grad, 1/float64(batch))
+	}
+	if a.cfg.GradClip > 0 {
+		nn.ClipGrads(a.params, a.cfg.GradClip)
+	}
+	a.opt.Step(a.params)
+	a.trainSteps++
+	return total / float64(batch)
+}
+
+// Save writes all network weights to w.
+func (a *Agent) Save(w io.Writer) error { return nn.SaveWeights(w, a.params) }
+
+// Load restores network weights written by Save into an agent constructed
+// with the same Config.
+func (a *Agent) Load(r io.Reader) error { return nn.LoadWeights(r, a.params) }

@@ -1,0 +1,49 @@
+package dfp
+
+import "math/rand"
+
+// Experience is one training sample: the inputs observed at a decision, the
+// action taken, and the realized future-measurement changes (Target) with a
+// validity mask for offsets that ran past the end of the episode.
+type Experience struct {
+	State  []float64
+	Meas   []float64
+	Goal   []float64 // extended goal (PredDim)
+	Action int
+	Target []float64
+	Mask   []bool
+}
+
+// replay is a fixed-capacity ring buffer with uniform sampling.
+type replay struct {
+	buf  []*Experience
+	next int
+	full bool
+}
+
+func newReplay(capacity int) *replay {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &replay{buf: make([]*Experience, capacity)}
+}
+
+func (r *replay) add(e *Experience) {
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+func (r *replay) len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+func (r *replay) sample(rng *rand.Rand) *Experience {
+	return r.buf[rng.Intn(r.len())]
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// Ablations of the design choices DESIGN.md calls out. Each returns labelled
+// reports on a fixed workload so the effect of one mechanism is isolated:
+//
+//   - dynamic vs fixed goal vector (§III-B — the heart of MRSch)
+//   - single state network vs one per resource (§III-A design discussion)
+//   - window size (§III-C: W=10 in the paper)
+//   - EASY backfilling on/off (§III-C)
+//   - list-scheduling picker family (related-work context: FCFS, Tetris,
+//     SJF, LargestFirst)
+
+// AblationRow is one labelled configuration's outcome.
+type AblationRow struct {
+	Name   string
+	Report metrics.Report
+}
+
+// AblationGoal compares the trained MRSch agent on S5 with its own Eq. (1)
+// dynamic goal against the same weights forced to a fixed uniform goal.
+// The gap is the isolated value of dynamic resource prioritizing.
+func AblationGoal(c *Campaign) ([]AblationRow, error) {
+	sys := c.M.Scale.System()
+	jobs := c.M.Workload("S5")
+	agent, err := c.MRSchAgent("S5", false, false)
+	if err != nil {
+		return nil, err
+	}
+	dynamic, err := Evaluate(sys, agent.Policy(), jobs, "dynamic-goal", "S5", -1)
+	if err != nil {
+		return nil, err
+	}
+	agent.FixedGoal = []float64{0.5, 0.5}
+	fixed, err := Evaluate(sys, agent.Policy(), jobs, "fixed-goal", "S5", -1)
+	agent.FixedGoal = nil
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{
+		{Name: "dynamic goal (Eq. 1)", Report: dynamic},
+		{Name: "fixed goal (0.5/0.5)", Report: fixed},
+	}, nil
+}
+
+// AblationStateNets trains two otherwise-identical agents on S4: one with
+// MRSch's single state network, one with the per-resource networks the
+// paper rejects (job info encoded R times).
+func AblationStateNets(m *Materials) ([]AblationRow, error) {
+	sys := m.Scale.System()
+	jobs := m.Workload("S4")
+	byKind := m.CurriculumSets("S4")
+	order := Ordering{core.Sampled, core.Real, core.Synthetic}
+	sets := order.Sets(byKind)
+
+	var rows []AblationRow
+	for _, variant := range []struct {
+		name string
+		per  bool
+	}{
+		{"single state net", false},
+		{"per-resource nets", true},
+	} {
+		opts := m.Scale.mrschOptions(m.Scale.Seed+47, false)
+		opts.PerResourceNets = variant.per
+		agent := core.New(sys, opts)
+		_, err := core.TrainCurriculum(agent, core.TrainConfig{
+			System:          sys,
+			StepsPerEpisode: m.Scale.StepsPerEpisode,
+		}, sets)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := Evaluate(sys, agent.Policy(), jobs, variant.name, "S4", -1)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Name: variant.name, Report: rep})
+	}
+	return rows, nil
+}
+
+// AblationWindow sweeps the scheduling window size with the GA picker
+// (training-free, so the sweep isolates the window mechanism itself).
+func AblationWindow(m *Materials, sizes []int) ([]AblationRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{1, 5, 10, 20}
+	}
+	sys := m.Scale.System()
+	jobs := m.Workload("S4")
+	var rows []AblationRow
+	for _, w := range sizes {
+		policy := sched.NewWindowPolicy(NewGA(m.Scale.Seed+43), w)
+		rep, err := Evaluate(sys, policy, jobs, fmt.Sprintf("W=%d", w), "S4", -1)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Name: fmt.Sprintf("window %d", w), Report: rep})
+	}
+	return rows, nil
+}
+
+// AblationBackfill runs FCFS with and without EASY backfilling.
+func AblationBackfill(m *Materials) ([]AblationRow, error) {
+	sys := m.Scale.System()
+	jobs := m.Workload("S4")
+	var rows []AblationRow
+	for _, variant := range []struct {
+		name     string
+		backfill bool
+	}{
+		{"EASY backfilling on", true},
+		{"EASY backfilling off", false},
+	} {
+		policy := sched.NewWindowPolicy(sched.FCFS{}, m.Scale.Window)
+		policy.Backfill = variant.backfill
+		rep, err := Evaluate(sys, policy, jobs, variant.name, "S4", -1)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Name: variant.name, Report: rep})
+	}
+	return rows, nil
+}
+
+// AblationPickers compares the list-scheduling picker family inside the
+// shared framework.
+func AblationPickers(m *Materials) ([]AblationRow, error) {
+	sys := m.Scale.System()
+	jobs := m.Workload("S4")
+	pickers := []struct {
+		name string
+		p    sched.Picker
+	}{
+		{"FCFS", sched.FCFS{}},
+		{"Tetris packing", sched.Tetris{}},
+		{"SJF", sched.SJF{}},
+		{"LargestFirst", sched.LargestFirst{}},
+	}
+	var rows []AblationRow
+	for _, pk := range pickers {
+		rep, err := Evaluate(sys, sched.NewWindowPolicy(pk.p, m.Scale.Window), jobs, pk.name, "S4", -1)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Name: pk.name, Report: rep})
+	}
+	return rows, nil
+}
+
+// FprintAblation renders ablation rows as a metric table.
+func FprintAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "Ablation — %s\n", title)
+	fmt.Fprintf(w, "  %-22s %10s %10s %10s %12s\n", "", "node-util", "bb-util", "wait h", "slowdown")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-22s %9.1f%% %9.1f%% %10.2f %12.2f\n",
+			r.Name, r.Report.Utilization[0]*100, r.Report.Utilization[1]*100,
+			r.Report.AvgWaitHours(), r.Report.AvgSlowdown)
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFigure3BothVariantsEvaluate(t *testing.T) {
+	c := NewCampaign(tinyScale())
+	rows, err := Figure3(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MLP.Jobs == 0 || r.CNN.Jobs == 0 {
+			t.Fatalf("%s: incomplete runs", r.Workload)
+		}
+		if r.MLP.Jobs != r.CNN.Jobs {
+			t.Fatalf("%s: variants saw different workloads", r.Workload)
+		}
+	}
+	var buf bytes.Buffer
+	FprintFigure3(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestCampaignCachesAgents(t *testing.T) {
+	c := NewCampaign(tinyScale())
+	a1, err := c.MRSchAgent("S1", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c.MRSchAgent("S1", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("agent not cached: retraining on every figure")
+	}
+	// Different variants are distinct cache entries.
+	a3, err := c.MRSchAgent("S1", true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3 == a1 {
+		t.Fatal("CNN variant shared the MLP cache slot")
+	}
+}

@@ -1,0 +1,506 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// WorkloadNames are the Table III scenarios in plotting order.
+func WorkloadNames() []string { return []string{"S1", "S2", "S3", "S4", "S5"} }
+
+// PowerWorkloadNames are the §V-E scenarios.
+func PowerWorkloadNames() []string { return []string{"S6", "S7", "S8", "S9", "S10"} }
+
+// Campaign caches trained agents so the figures can share them (the paper
+// trains one agent per workload and reuses it across Figures 5-9).
+type Campaign struct {
+	M      *Materials
+	agents map[string]*core.MRSch
+}
+
+// NewCampaign prepares materials for a scale.
+func NewCampaign(sc Scale) *Campaign {
+	return &Campaign{M: Prepare(sc), agents: make(map[string]*core.MRSch)}
+}
+
+// MRSchAgent returns the (cached) trained agent for a workload; set cnn for
+// the Figure 3 convolutional variant, power for S6-S10.
+func (c *Campaign) MRSchAgent(wl string, cnn, power bool) (*core.MRSch, error) {
+	key := fmt.Sprintf("%s/cnn=%v/power=%v", wl, cnn, power)
+	if a, ok := c.agents[key]; ok {
+		return a, nil
+	}
+	var agent *core.MRSch
+	var err error
+	if power {
+		agent, err = TrainMRSchPower(c.M, wl)
+	} else {
+		agent, _, err = TrainMRSch(c.M, wl, cnn)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.agents[key] = agent
+	return agent, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1 — the motivating example (§I).
+
+// Figure1Result compares a fixed-priority greedy schedule against the
+// optimal complementary packing for the introductory four-job example.
+type Figure1Result struct {
+	FixedWeightMakespanH float64
+	OptimalMakespanH     float64
+}
+
+// figure1Jobs reconstructs the §I example. The published figure's exact
+// percentages are in an image, so we use demands that exhibit the same
+// phenomenon: complementary pairs {J1,J3} and {J2,J4} finish in 2 h, while
+// equal-weight greedy selection schedules {J3,J2} first and needs 3 h.
+func figure1Jobs() []*job.Job {
+	mk := func(id, a, b int) *job.Job {
+		return &job.Job{ID: id, Submit: 0, Runtime: 3600, Walltime: 3600, Demand: []int{a, b}}
+	}
+	return []*job.Job{mk(1, 55, 10), mk(2, 50, 40), mk(3, 40, 60), mk(4, 50, 10)}
+}
+
+func figure1System() cluster.Config {
+	return cluster.Config{Name: "fig1", Resources: []string{"A", "B"}, Capacities: []int{100, 100}}
+}
+
+// fixedWeightGreedy picks the fitting window job with the largest
+// equal-weighted demand (the "fixed priority per resource" strawman of §I);
+// if nothing fits it yields the heaviest job for reservation.
+type fixedWeightGreedy struct{}
+
+func (fixedWeightGreedy) Pick(ctx *sched.PickContext) int {
+	best, bestScore := -1, -1.0
+	fallback, fallbackScore := 0, -1.0
+	for i, j := range ctx.Window {
+		score := 0.0
+		for r, d := range j.Demand {
+			score += 0.5 * float64(d) / float64(ctx.Cluster.Capacity(r))
+		}
+		if score > fallbackScore {
+			fallback, fallbackScore = i, score
+		}
+		if ctx.Cluster.CanFit(j.Demand) && score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return fallback
+}
+
+// Figure1 simulates the fixed-weight schedule and brute-forces the optimal
+// batch packing (all jobs run one hour, so makespan = number of batches).
+func Figure1() (Figure1Result, error) {
+	sys := figure1System()
+	jobs := figure1Jobs()
+	fixed, err := Evaluate(sys, sched.NewWindowPolicy(fixedWeightGreedy{}, 4), job.CloneAll(jobs), "FixedWeight", "Fig1", -1)
+	if err != nil {
+		return Figure1Result{}, err
+	}
+	batches := optimalBatches(jobs, sys.Capacities)
+	return Figure1Result{
+		FixedWeightMakespanH: fixed.MakespanSec / 3600,
+		OptimalMakespanH:     float64(batches),
+	}, nil
+}
+
+// optimalBatches finds the minimal number of capacity-feasible batches
+// covering all (equal-runtime) jobs, by exhaustive search over assignments.
+// Exponential, but the example has four jobs.
+func optimalBatches(jobs []*job.Job, caps []int) int {
+	n := len(jobs)
+	best := n
+	assign := make([]int, n)
+	var rec func(i, used int)
+	feasible := func(batch int) bool {
+		load := make([]int, len(caps))
+		for k := 0; k < n; k++ {
+			if assign[k] == batch {
+				for r, d := range jobs[k].Demand {
+					load[r] += d
+					if load[r] > caps[r] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	rec = func(i, used int) {
+		if used >= best {
+			return
+		}
+		if i == n {
+			best = used
+			return
+		}
+		for b := 1; b <= used+1; b++ {
+			assign[i] = b
+			if feasible(b) {
+				next := used
+				if b > used {
+					next = b
+				}
+				rec(i+1, next)
+			}
+		}
+		assign[i] = 0
+	}
+	rec(0, 0)
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 — MLP vs CNN state modules (§V-A).
+
+// Fig3Row holds both variants' reports for one workload.
+type Fig3Row struct {
+	Workload string
+	MLP, CNN metrics.Report
+}
+
+// Figure3 trains an MLP-state and a CNN-state MRSch per workload and
+// evaluates both on the test workload.
+func Figure3(c *Campaign) ([]Fig3Row, error) {
+	sys := c.M.Scale.System()
+	var rows []Fig3Row
+	for _, wl := range WorkloadNames() {
+		jobs := c.M.Workload(wl)
+		mlpAgent, err := c.MRSchAgent(wl, false, false)
+		if err != nil {
+			return nil, err
+		}
+		mlp, err := Evaluate(sys, mlpAgent.Policy(), jobs, "MLP", wl, -1)
+		if err != nil {
+			return nil, err
+		}
+		cnnAgent, err := c.MRSchAgent(wl, true, false)
+		if err != nil {
+			return nil, err
+		}
+		cnn, err := Evaluate(sys, cnnAgent.Policy(), jobs, "CNN", wl, -1)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig3Row{Workload: wl, MLP: mlp, CNN: cnn})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — curriculum orderings (§V-B).
+
+// Fig4Series is one ordering's training-loss curve.
+type Fig4Series struct {
+	Label string
+	Loss  []float64
+}
+
+// Figure4 trains six fresh agents, one per curriculum ordering, on the same
+// scenario and budget, and returns their loss curves.
+func Figure4(c *Campaign, scenario string) ([]Fig4Series, error) {
+	var out []Fig4Series
+	for _, order := range Orderings() {
+		results, err := TrainMRSchOrdered(c.M, scenario, order, c.M.Scale.Seed+23)
+		if err != nil {
+			return nil, err
+		}
+		losses := make([]float64, 0, len(results))
+		for _, r := range results {
+			if r.Loss >= 0 {
+				losses = append(losses, r.Loss)
+			}
+		}
+		out = append(out, Fig4Series{Label: order.Label(), Loss: losses})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5, 6, 7 — the four-method comparison (§V-C).
+
+// MethodReports holds the four methods' reports for one workload, in
+// Methods() order.
+type MethodReports struct {
+	Workload string
+	Reports  []metrics.Report
+}
+
+// Figures56 runs MRSch, Optimization, Scalar RL and Heuristic on S1-S5.
+// Figure 5 reads the utilizations, Figure 6 the wait/slowdown.
+func Figures56(c *Campaign) ([]MethodReports, error) {
+	sys := c.M.Scale.System()
+	var out []MethodReports
+	for _, wl := range WorkloadNames() {
+		jobs := c.M.Workload(wl)
+		var reports []metrics.Report
+
+		agent, err := c.MRSchAgent(wl, false, false)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Evaluate(sys, agent.Policy(), jobs, MethodMRSch, wl, -1)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, r)
+
+		r, err = Evaluate(sys, sched.NewWindowPolicy(NewGA(c.M.Scale.Seed+29), c.M.Scale.Window), jobs, MethodOptimize, wl, -1)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, r)
+
+		rlAgent, err := TrainScalarRL(c.M, wl, sys, false)
+		if err != nil {
+			return nil, err
+		}
+		r, err = Evaluate(sys, rlAgent.Policy(), jobs, MethodScalarRL, wl, -1)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, r)
+
+		r, err = Evaluate(sys, FCFSPolicy(c.M.Scale.Window), jobs, MethodHeuristic, wl, -1)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, r)
+
+		out = append(out, MethodReports{Workload: wl, Reports: reports})
+	}
+	return out, nil
+}
+
+// Figure7 normalizes Figures56 rows into the radar-chart values the paper
+// plots (one [method][axis] matrix per workload).
+func Figure7(rows []MethodReports) map[string][][]float64 {
+	out := make(map[string][][]float64, len(rows))
+	for _, row := range rows {
+		out[row.Workload] = metrics.Kiviat(row.Reports, false)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figures 8 and 9 — dynamic resource prioritizing (§V-D).
+
+// GoalSample is one Eq. (1) evaluation: decision time and r_BB.
+type GoalSample struct {
+	T   float64
+	RBB float64
+}
+
+// goalTrace runs the trained agent over a workload collecting r_BB samples.
+func (c *Campaign) goalTrace(wl string) ([]GoalSample, error) {
+	agent, err := c.MRSchAgent(wl, false, false)
+	if err != nil {
+		return nil, err
+	}
+	var samples []GoalSample
+	agent.GoalHook = func(now float64, g []float64) {
+		samples = append(samples, GoalSample{T: now, RBB: g[1]})
+	}
+	defer func() { agent.GoalHook = nil }()
+	_, err = Evaluate(c.M.Scale.System(), agent.Policy(), c.M.Workload(wl), MethodMRSch, wl, -1)
+	if err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// Figure8 returns the r_BB fluctuation during a 12-hour window of the S5
+// run (the paper samples a random 12 hours; we take the window starting at
+// one quarter of the trace for reproducibility).
+func Figure8(c *Campaign) ([]GoalSample, error) {
+	samples, err := c.goalTrace("S5")
+	if err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("experiments: no goal samples collected")
+	}
+	end := samples[len(samples)-1].T
+	start := end * 0.25
+	windowEnd := start + 12*3600
+	var out []GoalSample
+	for _, s := range samples {
+		if s.T >= start && s.T <= windowEnd {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 { // short traces: return everything
+		out = samples
+	}
+	return out, nil
+}
+
+// Fig9Row is one workload's r_BB box statistics.
+type Fig9Row struct {
+	Workload string
+	Stats    metrics.BoxStats
+}
+
+// Figure9 computes r_BB box plots for S1-S5.
+func Figure9(c *Campaign) ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, wl := range WorkloadNames() {
+		samples, err := c.goalTrace(wl)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, len(samples))
+		for i, s := range samples {
+			vals[i] = s.RBB
+		}
+		rows = append(rows, Fig9Row{Workload: wl, Stats: metrics.Box(vals)})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — three schedulable resources (§V-E).
+
+// Figure10 runs the four methods on the power-extended S6-S10 workloads.
+func Figure10(c *Campaign) ([]MethodReports, error) {
+	psys := c.M.Scale.PowerSystem()
+	powerIdx := 2
+	var out []MethodReports
+	for _, wl := range PowerWorkloadNames() {
+		jobs := c.M.PowerWorkload(wl)
+		var reports []metrics.Report
+
+		agent, err := c.MRSchAgent(wl, false, true)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Evaluate(psys, agent.Policy(), jobs, MethodMRSch, wl, powerIdx)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, r)
+
+		r, err = Evaluate(psys, sched.NewWindowPolicy(NewGA(c.M.Scale.Seed+31), c.M.Scale.Window), jobs, MethodOptimize, wl, powerIdx)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, r)
+
+		rlAgent, err := TrainScalarRL(c.M, wl, psys, true)
+		if err != nil {
+			return nil, err
+		}
+		r, err = Evaluate(psys, rlAgent.Policy(), jobs, MethodScalarRL, wl, powerIdx)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, r)
+
+		r, err = Evaluate(psys, FCFSPolicy(c.M.Scale.Window), jobs, MethodHeuristic, wl, powerIdx)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, r)
+
+		out = append(out, MethodReports{Workload: wl, Reports: reports})
+	}
+	return out, nil
+}
+
+// Figure10Kiviat normalizes Figure10 rows with the power axis included.
+func Figure10Kiviat(rows []MethodReports) map[string][][]float64 {
+	out := make(map[string][][]float64, len(rows))
+	for _, row := range rows {
+		out[row.Workload] = metrics.Kiviat(row.Reports, true)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// §V-F — runtime overhead.
+
+// OverheadContext builds a full-Theta-scale agent (the §IV-C network:
+// 11410-input state module with 4000/1000 hidden layers) and a representative
+// decision context, for timing a single scheduling decision.
+func OverheadContext(resources int) (*core.MRSch, *sched.PickContext) {
+	var sys cluster.Config
+	if resources >= 3 {
+		sys = cluster.Config{
+			Name:       "theta+power",
+			Resources:  []string{"nodes", "bb_tb", "power_kw"},
+			Capacities: []int{4392, 1293, 500},
+		}
+	} else {
+		sys = cluster.Config{
+			Name:       "theta",
+			Resources:  []string{"nodes", "bb_tb"},
+			Capacities: []int{4392, 1293},
+		}
+	}
+	agent := core.New(sys, core.Options{Window: 10, Seed: 1, PaperScale: true})
+	cl := cluster.New(sys)
+	// Half-loaded machine with a full window of waiting jobs.
+	demand := []int{512, 100}
+	if resources >= 3 {
+		demand = append(demand, 40)
+	}
+	for id := 1; id <= 4; id++ {
+		_ = cl.Allocate(id, demand, 0, float64(3600*id))
+	}
+	var window []*job.Job
+	for i := 0; i < 10; i++ {
+		d := []int{128 << (i % 4), 10 * (i + 1)}
+		if resources >= 3 {
+			d = append(d, 10+i)
+		}
+		window = append(window, &job.Job{
+			ID: 100 + i, Submit: 0, Runtime: 3600, Walltime: 5400, Demand: d,
+		})
+	}
+	ctx := &sched.PickContext{Now: 1800, Window: window, Queue: window, Cluster: cl, Usage: cl.Usage()}
+	return agent, ctx
+}
+
+// ---------------------------------------------------------------------------
+// Shape checks shared by tests and EXPERIMENTS.md tooling.
+
+// OverallScore is the Kiviat polygon area, the paper's "larger area =
+// better overall performance" aggregate.
+func OverallScore(reports []metrics.Report, withPower bool) []float64 {
+	rows := metrics.Kiviat(reports, withPower)
+	out := make([]float64, len(rows))
+	for i, row := range rows {
+		out[i] = metrics.KiviatArea(row)
+	}
+	return out
+}
+
+// MeanLoss returns the average of a Figure 4 loss series' last k points
+// (convergence quality).
+func MeanLoss(series Fig4Series, k int) float64 {
+	n := len(series.Loss)
+	if n == 0 {
+		return math.NaN()
+	}
+	if k > n {
+		k = n
+	}
+	sum := 0.0
+	for _, v := range series.Loss[n-k:] {
+		sum += v
+	}
+	return sum / float64(k)
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/workload"
+)
+
+// Materials bundles everything a campaign needs: the scaled machine, the
+// base trace with its Darshan-derived request pool, the Table III workloads
+// (test split), and the curriculum job sets built from the training split.
+type Materials struct {
+	Scale Scale
+
+	// Base is the synthetic Theta-like trace; Pool the burst-buffer request
+	// pool mined from it (§IV-A).
+	Base []*job.Job
+	Pool []float64
+
+	// Train/Valid/Test are the chronological split of the base trace
+	// (§IV-A: 3.5 months training, two weeks validation, remainder test).
+	Train, Valid, Test []*job.Job
+}
+
+// Prepare generates the campaign's raw materials deterministically.
+func Prepare(sc Scale) *Materials {
+	sys := sc.System()
+	gcfg := workload.GeneratorConfig{
+		System:           sys,
+		Duration:         sc.TraceDuration,
+		MeanInterarrival: sc.MeanInterarrival,
+		Seed:             sc.Seed,
+	}
+	base := workload.GenerateBase(gcfg)
+	pool := workload.AssignDarshanBB(base, sys.Capacities[1], sc.Seed+1)
+	train, valid, test := workload.PaperSplit(base)
+	if len(test) == 0 { // degenerate tiny traces: evaluate on everything
+		train, valid, test = base, base, base
+	}
+	if len(valid) == 0 {
+		valid = train
+	}
+	return &Materials{Scale: sc, Base: base, Pool: pool, Train: train, Valid: valid, Test: test}
+}
+
+// ValidationWorkload builds the named Table III scenario over the
+// validation split (§IV-A model selection).
+func (m *Materials) ValidationWorkload(name string) []*job.Job {
+	sc, err := workload.ScenarioByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return rebase(workload.Apply(m.Valid, m.Pool, sc, m.Scale.System(), m.Scale.Seed+150))
+}
+
+// Workload builds the named Table III scenario over the test split.
+func (m *Materials) Workload(name string) []*job.Job {
+	sc, err := workload.ScenarioByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return rebase(workload.Apply(m.Test, m.Pool, sc, m.Scale.System(), m.Scale.Seed+100))
+}
+
+// PowerWorkload builds an S6-S10 workload over the test split.
+func (m *Materials) PowerWorkload(name string) []*job.Job {
+	for _, psc := range workload.PowerScenarios() {
+		if psc.Name == name {
+			return rebase(workload.ApplyPower(m.Test, m.Pool, psc, m.Scale.PowerSystem(), m.Scale.Seed+100))
+		}
+	}
+	panic("experiments: unknown power workload " + name)
+}
+
+// rebase shifts arrivals so the workload starts at time zero.
+func rebase(jobs []*job.Job) []*job.Job {
+	if len(jobs) == 0 {
+		return jobs
+	}
+	t0 := jobs[0].Submit
+	for _, j := range jobs {
+		j.Submit -= t0
+	}
+	return jobs
+}
+
+// CurriculumSets builds the three §III-D set kinds for the named scenario
+// from the training split: sampled (Poisson arrivals), real (trace slices),
+// and synthetic (fresh generator output), each transformed by the scenario.
+func (m *Materials) CurriculumSets(scenario string) map[core.JobSetKind][][]*job.Job {
+	sc, err := workload.ScenarioByName(scenario)
+	if err != nil {
+		panic(err)
+	}
+	s := m.Scale
+	sys := s.System()
+	apply := func(sets [][]*job.Job, seedOff int64) [][]*job.Job {
+		out := make([][]*job.Job, len(sets))
+		for i, set := range sets {
+			out[i] = workload.Apply(set, m.Pool, sc, sys, s.Seed+seedOff+int64(i))
+		}
+		return out
+	}
+	sampled := apply(workload.SampledSets(m.Train, s.SetsPerKind, s.SetSize, s.Seed+200), 300)
+	real := apply(workload.RealSets(m.Train, s.SetsPerKind, s.SetSize), 400)
+	synth := workload.SyntheticSets(sys, sc, s.SetsPerKind, s.SetSize, m.meanGap(), s.Seed+500)
+	return map[core.JobSetKind][][]*job.Job{
+		core.Sampled:   sampled,
+		core.Real:      real,
+		core.Synthetic: synth,
+	}
+}
+
+func (m *Materials) meanGap() float64 {
+	if len(m.Train) < 2 {
+		return m.Scale.MeanInterarrival
+	}
+	span := m.Train[len(m.Train)-1].Submit - m.Train[0].Submit
+	if span <= 0 {
+		return m.Scale.MeanInterarrival
+	}
+	return span / float64(len(m.Train)-1)
+}
+
+// Ordering is a curriculum ordering of the three set kinds (Figure 4).
+type Ordering [3]core.JobSetKind
+
+// Orderings returns all six permutations, labelled as the paper's legend.
+func Orderings() []Ordering {
+	return []Ordering{
+		{core.Real, core.Sampled, core.Synthetic},
+		{core.Real, core.Synthetic, core.Sampled},
+		{core.Synthetic, core.Real, core.Sampled},
+		{core.Synthetic, core.Sampled, core.Real},
+		{core.Sampled, core.Synthetic, core.Real},
+		{core.Sampled, core.Real, core.Synthetic},
+	}
+}
+
+// Label renders an ordering like "Sampled+Real+Synthetic".
+func (o Ordering) Label() string {
+	return o[0].String() + "+" + o[1].String() + "+" + o[2].String()
+}
+
+// Sets flattens curriculum sets in this ordering into the episode sequence.
+func (o Ordering) Sets(byKind map[core.JobSetKind][][]*job.Job) []core.JobSet {
+	var out []core.JobSet
+	for _, kind := range o {
+		for _, jobs := range byKind[kind] {
+			out = append(out, core.JobSet{Kind: kind, Jobs: jobs})
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+)
+
+// Rendering helpers: each figure gets a text table mirroring what the paper
+// plots, so a run of cmd/mrsch-exp (or the benchmarks) reproduces the
+// figures as rows/series.
+
+// FprintFigure1 prints the motivating example's makespans.
+func FprintFigure1(w io.Writer, r Figure1Result) {
+	fmt.Fprintln(w, "Figure 1 — fixed priority vs ideal scheduling (makespan, hours)")
+	fmt.Fprintf(w, "  fixed-weight greedy: %.0f h\n", r.FixedWeightMakespanH)
+	fmt.Fprintf(w, "  ideal packing:       %.0f h\n", r.OptimalMakespanH)
+}
+
+// FprintFigure3 prints the MLP-vs-CNN table (four metrics per workload).
+func FprintFigure3(w io.Writer, rows []Fig3Row) {
+	fmt.Fprintln(w, "Figure 3 — state module ablation (MLP vs CNN)")
+	fmt.Fprintf(w, "  %-4s %22s %22s %20s %18s\n", "", "NodeUtil% (MLP/CNN)", "BBUtil% (MLP/CNN)", "Wait h (MLP/CNN)", "Slowdown (MLP/CNN)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-4s %10.1f /%8.1f %10.1f /%8.1f %9.2f /%7.2f %8.2f /%6.2f\n",
+			r.Workload,
+			r.MLP.Utilization[0]*100, r.CNN.Utilization[0]*100,
+			r.MLP.Utilization[1]*100, r.CNN.Utilization[1]*100,
+			r.MLP.AvgWaitHours(), r.CNN.AvgWaitHours(),
+			r.MLP.AvgSlowdown, r.CNN.AvgSlowdown)
+	}
+}
+
+// FprintFigure4 prints each ordering's loss series.
+func FprintFigure4(w io.Writer, series []Fig4Series) {
+	fmt.Fprintln(w, "Figure 4 — training loss by curriculum ordering (MSE per episode)")
+	for _, s := range series {
+		fmt.Fprintf(w, "  %-28s", s.Label)
+		for _, l := range s.Loss {
+			fmt.Fprintf(w, " %7.4f", l)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// FprintFigure5 prints the system-level metric rows.
+func FprintFigure5(w io.Writer, rows []MethodReports) {
+	fmt.Fprintln(w, "Figure 5 — system-level metrics")
+	fmt.Fprintf(w, "  %-4s %-12s %14s %14s\n", "", "method", "NodeUtil %", "BBUtil %")
+	for _, row := range rows {
+		for _, r := range row.Reports {
+			fmt.Fprintf(w, "  %-4s %-12s %14.1f %14.1f\n", row.Workload, r.Method,
+				r.Utilization[0]*100, r.Utilization[1]*100)
+		}
+	}
+}
+
+// FprintFigure6 prints the user-level metric rows.
+func FprintFigure6(w io.Writer, rows []MethodReports) {
+	fmt.Fprintln(w, "Figure 6 — user-level metrics")
+	fmt.Fprintf(w, "  %-4s %-12s %14s %14s\n", "", "method", "AvgWait h", "AvgSlowdown")
+	for _, row := range rows {
+		for _, r := range row.Reports {
+			fmt.Fprintf(w, "  %-4s %-12s %14.2f %14.2f\n", row.Workload, r.Method,
+				r.AvgWaitHours(), r.AvgSlowdown)
+		}
+	}
+}
+
+// FprintFigure7 prints the Kiviat matrices (1 = best per axis) and polygon
+// areas.
+func FprintFigure7(w io.Writer, rows []MethodReports) {
+	fmt.Fprintln(w, "Figure 7 — Kiviat (normalized axes; larger area = better overall)")
+	axes := metrics.KiviatAxes(false)
+	fmt.Fprintf(w, "  %-4s %-12s", "", "method")
+	for _, a := range axes {
+		fmt.Fprintf(w, " %24s", a)
+	}
+	fmt.Fprintf(w, " %8s\n", "area")
+	kv := Figure7(rows)
+	for _, row := range rows {
+		mat := kv[row.Workload]
+		for i, r := range row.Reports {
+			fmt.Fprintf(w, "  %-4s %-12s", row.Workload, r.Method)
+			for _, v := range mat[i] {
+				fmt.Fprintf(w, " %24.3f", v)
+			}
+			fmt.Fprintf(w, " %8.3f\n", metrics.KiviatArea(mat[i]))
+		}
+	}
+}
+
+// FprintFigure8 prints the r_BB time series.
+func FprintFigure8(w io.Writer, samples []GoalSample) {
+	fmt.Fprintln(w, "Figure 8 — r_BB fluctuation (12-hour window, S5)")
+	for i, s := range samples {
+		if i%8 == 0 && i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "  (%6.2fh %.3f)", s.T/3600, s.RBB)
+	}
+	fmt.Fprintln(w)
+}
+
+// FprintFigure9 prints the r_BB box statistics per workload.
+func FprintFigure9(w io.Writer, rows []Fig9Row) {
+	fmt.Fprintln(w, "Figure 9 — r_BB box plot per workload")
+	fmt.Fprintf(w, "  %-4s %8s %8s %8s %8s %8s %8s %6s\n", "", "min", "q1", "median", "q3", "max", "mean", "n")
+	for _, r := range rows {
+		s := r.Stats
+		fmt.Fprintf(w, "  %-4s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %6d\n",
+			r.Workload, s.Min, s.Q1, s.Median, s.Q3, s.Max, s.Mean, s.N)
+	}
+}
+
+// FprintFigure10 prints the three-resource comparison with the power axis.
+func FprintFigure10(w io.Writer, rows []MethodReports) {
+	fmt.Fprintln(w, "Figure 10 — three schedulable resources (S6-S10)")
+	fmt.Fprintf(w, "  %-4s %-12s %12s %12s %12s %12s %12s %8s\n",
+		"", "method", "NodeUtil %", "BBUtil %", "Power kW", "Wait h", "Slowdown", "area")
+	kv := Figure10Kiviat(rows)
+	for _, row := range rows {
+		mat := kv[row.Workload]
+		for i, r := range row.Reports {
+			fmt.Fprintf(w, "  %-4s %-12s %12.1f %12.1f %12.1f %12.2f %12.2f %8.3f\n",
+				row.Workload, r.Method,
+				r.Utilization[0]*100, r.Utilization[1]*100, r.AvgSysPowerKW,
+				r.AvgWaitHours(), r.AvgSlowdown, metrics.KiviatArea(mat[i]))
+		}
+	}
+}

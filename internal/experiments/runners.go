@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dfp"
+	"repro/internal/ga"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/rl"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Method names as the paper labels them (§IV-D).
+const (
+	MethodMRSch     = "MRSch"
+	MethodOptimize  = "Optimization"
+	MethodScalarRL  = "Scalar RL"
+	MethodHeuristic = "Heuristic"
+)
+
+// Methods lists the comparison in the paper's plotting order.
+func Methods() []string {
+	return []string{MethodMRSch, MethodOptimize, MethodScalarRL, MethodHeuristic}
+}
+
+// Evaluate replays jobs through the policy on a fresh cluster and collects
+// the §IV-B metrics. powerIdx is the power resource index or -1.
+func Evaluate(sys cluster.Config, policy sim.Policy, jobs []*job.Job, method, wl string, powerIdx int) (metrics.Report, error) {
+	s := sim.New(sys, policy)
+	if err := s.Load(job.CloneAll(jobs)); err != nil {
+		return metrics.Report{}, fmt.Errorf("experiments: %s on %s: %w", method, wl, err)
+	}
+	if err := s.Run(); err != nil {
+		return metrics.Report{}, fmt.Errorf("experiments: %s on %s: %w", method, wl, err)
+	}
+	return metrics.Collect(method, wl, s, powerIdx), nil
+}
+
+// mrschOptions returns the experiment-scale agent options for a system.
+func (s Scale) mrschOptions(seed int64, useCNN bool) core.Options {
+	return core.Options{
+		Window: s.Window,
+		UseCNN: useCNN,
+		Seed:   seed,
+		Mutate: func(c *dfp.Config) {
+			c.EpsDecay = s.EpsDecay
+			// Short episodes: keep offsets inside the horizon.
+			c.Offsets = []int{1, 2, 4, 8, 16}
+			c.TemporalWeights = []float64{0, 0, 0.5, 0.5, 1}
+		},
+	}
+}
+
+// NewMRSchUntrained builds the campaign-architecture agent without training,
+// so saved weights (cmd/mrsch-train) can be loaded into it.
+func NewMRSchUntrained(sc Scale, power bool) *core.MRSch {
+	sys := sc.System()
+	if power {
+		sys = sc.PowerSystem()
+	}
+	return core.New(sys, sc.mrschOptions(sc.Seed+11, false))
+}
+
+// TrainMRSch builds and curriculum-trains an MRSch agent for the scenario,
+// using the paper's best ordering (sampled -> real -> synthetic, §V-B).
+func TrainMRSch(m *Materials, scenario string, useCNN bool) (*core.MRSch, []core.EpisodeResult, error) {
+	sys := m.Scale.System()
+	agent := core.New(sys, m.Scale.mrschOptions(m.Scale.Seed+11, useCNN))
+	byKind := m.CurriculumSets(scenario)
+	order := Ordering{core.Sampled, core.Real, core.Synthetic}
+	results, err := core.TrainCurriculum(agent, core.TrainConfig{
+		System:          sys,
+		StepsPerEpisode: m.Scale.StepsPerEpisode,
+	}, order.Sets(byKind))
+	return agent, results, err
+}
+
+// TrainMRSchValidated curriculum-trains with the §IV-A model-selection
+// protocol: after every episode the agent is scored on the validation
+// workload and the best weights are restored at the end.
+func TrainMRSchValidated(m *Materials, scenario string) (*core.MRSch, []core.EpisodeResult, core.ValidationMetrics, error) {
+	sys := m.Scale.System()
+	agent := core.New(sys, m.Scale.mrschOptions(m.Scale.Seed+11, false))
+	byKind := m.CurriculumSets(scenario)
+	order := Ordering{core.Sampled, core.Real, core.Synthetic}
+	results, best, err := core.TrainCurriculumWithSelection(agent, core.SelectionConfig{
+		TrainConfig: core.TrainConfig{System: sys, StepsPerEpisode: m.Scale.StepsPerEpisode},
+		Validation:  m.ValidationWorkload(scenario),
+		Every:       2,
+	}, order.Sets(byKind))
+	return agent, results, best, err
+}
+
+// TrainMRSchOrdered trains a fresh agent with an explicit curriculum
+// ordering (Figure 4).
+func TrainMRSchOrdered(m *Materials, scenario string, order Ordering, seed int64) ([]core.EpisodeResult, error) {
+	sys := m.Scale.System()
+	agent := core.New(sys, m.Scale.mrschOptions(seed, false))
+	byKind := m.CurriculumSets(scenario)
+	return core.TrainCurriculum(agent, core.TrainConfig{
+		System:          sys,
+		StepsPerEpisode: m.Scale.StepsPerEpisode,
+	}, order.Sets(byKind))
+}
+
+// TrainMRSchPower trains an agent on the three-resource system for an
+// S6-S10 workload (§V-E). Power workloads reuse the scenario transform of
+// their S1-S5 counterpart for the curriculum.
+func TrainMRSchPower(m *Materials, powerName string) (*core.MRSch, error) {
+	psys := m.Scale.PowerSystem()
+	agent := core.New(psys, m.Scale.mrschOptions(m.Scale.Seed+13, false))
+	sets := m.powerCurriculum(powerName)
+	_, err := core.TrainCurriculum(agent, core.TrainConfig{
+		System:          psys,
+		StepsPerEpisode: m.Scale.StepsPerEpisode,
+	}, sets)
+	return agent, err
+}
+
+// powerCurriculum builds sampled and real training sets carrying power
+// demands for an S6-S10 workload.
+func (m *Materials) powerCurriculum(powerName string) []core.JobSet {
+	for i, p := range workload.PowerScenarios() {
+		if p.Name != powerName {
+			continue
+		}
+		s := m.Scale
+		psys := s.PowerSystem()
+		var sets []core.JobSet
+		for _, kind := range []core.JobSetKind{core.Sampled, core.Real} {
+			var raw [][]*job.Job
+			if kind == core.Sampled {
+				raw = workload.SampledSets(m.Train, s.SetsPerKind, s.SetSize, s.Seed+600+int64(i))
+			} else {
+				raw = workload.RealSets(m.Train, s.SetsPerKind, s.SetSize)
+			}
+			for k, set := range raw {
+				jobs := workload.ApplyPower(set, m.Pool, p, psys, s.Seed+700+int64(k))
+				sets = append(sets, core.JobSet{Kind: kind, Jobs: jobs})
+			}
+		}
+		return sets
+	}
+	panic("experiments: unknown power workload " + powerName)
+}
+
+// TrainScalarRL trains the fixed-weight policy-gradient baseline on the same
+// sampled sets as MRSch (episode count matched for fairness).
+func TrainScalarRL(m *Materials, scenario string, sys cluster.Config, powerAware bool) (*rl.Scheduler, error) {
+	cfg := rl.DefaultConfig()
+	cfg.Window = m.Scale.Window
+	cfg.Seed = m.Scale.Seed + 17
+	agent := rl.New(sys, cfg)
+
+	var sets []core.JobSet
+	if powerAware {
+		sets = m.powerCurriculum(scenario)
+	} else {
+		byKind := m.CurriculumSets(scenario)
+		order := Ordering{core.Sampled, core.Real, core.Synthetic}
+		sets = order.Sets(byKind)
+	}
+	agent.Train = true
+	defer func() { agent.Train = false }()
+	for _, set := range sets {
+		s := sim.New(sys, agent.Policy())
+		if err := s.Load(job.CloneAll(set.Jobs)); err != nil {
+			return nil, fmt.Errorf("experiments: scalar RL training: %w", err)
+		}
+		if err := s.Run(); err != nil {
+			return nil, fmt.Errorf("experiments: scalar RL training: %w", err)
+		}
+		agent.EndEpisode()
+	}
+	return agent, nil
+}
+
+// NewGA returns the Optimization baseline picker.
+func NewGA(seed int64) sched.Picker {
+	cfg := ga.DefaultConfig()
+	cfg.Seed = seed
+	return ga.New(cfg)
+}
+
+// FCFSPolicy returns the Heuristic baseline policy.
+func FCFSPolicy(window int) *sched.WindowPolicy {
+	return sched.NewWindowPolicy(sched.FCFS{}, window)
+}

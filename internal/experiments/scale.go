@@ -1,0 +1,79 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§V): the MLP-vs-CNN state-module ablation (Figure 3), the curriculum-
+// ordering convergence study (Figure 4), the system- and user-level
+// comparisons of the four scheduling methods (Figures 5-7), the dynamic
+// resource-prioritizing traces (Figures 8-9), the three-resource case study
+// (Figure 10), and the decision-latency measurement (§V-F). Each experiment
+// is a pure function of an explicit Scale, so the same code runs a
+// CI-sized replica or a heavier standalone configuration.
+package experiments
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// Scale fixes the size of an experimental campaign. All randomness derives
+// from Seed, so campaigns are reproducible.
+type Scale struct {
+	Name string
+	// Div scales the Theta machine (nodes and burst buffer divided by Div).
+	Div int
+	// TraceDuration and MeanInterarrival shape the base trace.
+	TraceDuration    float64
+	MeanInterarrival float64
+	// Window is W (the paper uses 10).
+	Window int
+	// SetsPerKind and SetSize size the curriculum (§III-D): SetsPerKind job
+	// sets of each of the three kinds, SetSize jobs each.
+	SetsPerKind int
+	SetSize     int
+	// StepsPerEpisode is gradient steps after each training episode.
+	StepsPerEpisode int
+	// EpsDecay overrides the paper's per-episode 0.995 decay so short
+	// campaigns still reach exploitation.
+	EpsDecay float64
+	// Seed roots all randomness.
+	Seed int64
+}
+
+// QuickScale is the CI-sized campaign used by `go test` and the default
+// benchmarks: a 1/32 Theta and a compressed training budget. Figures keep
+// their qualitative shape at this scale; absolute numbers shift.
+func QuickScale() Scale {
+	return Scale{
+		Name:             "quick",
+		Div:              32,
+		TraceDuration:    1.0 * 86400,
+		MeanInterarrival: 110,
+		Window:           10,
+		SetsPerKind:      5,
+		SetSize:          80,
+		StepsPerEpisode:  32,
+		EpsDecay:         0.78,
+		Seed:             1,
+	}
+}
+
+// StandardScale is a heavier campaign for standalone runs of cmd/mrsch-exp:
+// a 1/16 Theta, a two-day trace, and a longer curriculum.
+func StandardScale() Scale {
+	return Scale{
+		Name:             "standard",
+		Div:              16,
+		TraceDuration:    2 * 86400,
+		MeanInterarrival: 110,
+		Window:           10,
+		SetsPerKind:      8,
+		SetSize:          100,
+		StepsPerEpisode:  32,
+		EpsDecay:         0.88,
+		Seed:             1,
+	}
+}
+
+// System returns the scaled two-resource machine.
+func (s Scale) System() cluster.Config { return workload.ThetaScaled(s.Div) }
+
+// PowerSystem returns the scaled three-resource machine of §V-E.
+func (s Scale) PowerSystem() cluster.Config { return workload.WithPower(s.System()) }

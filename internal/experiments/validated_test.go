@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+func TestTrainMRSchValidatedSelectsModel(t *testing.T) {
+	m := Prepare(tinyScale())
+	agent, results, best, err := TrainMRSchValidated(m, "S2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3*tinyScale().SetsPerKind {
+		t.Fatalf("%d episodes", len(results))
+	}
+	if best.Score <= 0 || best.Score > 1 {
+		t.Fatalf("validation score %v", best.Score)
+	}
+	// The selected agent must still schedule the test workload.
+	rep, err := Evaluate(m.Scale.System(), agent.Policy(), m.Workload("S2"), MethodMRSch, "S2", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs == 0 {
+		t.Fatal("selected agent completed nothing")
+	}
+}
+
+func TestValidationWorkloadDistinctFromTest(t *testing.T) {
+	sc := tinyScale()
+	sc.TraceDuration = 0.8 * 86400 // long enough for a non-degenerate split
+	m := Prepare(sc)
+	valid := m.ValidationWorkload("S1")
+	test := m.Workload("S1")
+	if len(valid) == 0 || len(test) == 0 {
+		t.Fatalf("empty split: valid=%d test=%d", len(valid), len(test))
+	}
+	if len(m.Valid) >= len(m.Train) {
+		t.Fatalf("validation split (%d) should be much smaller than training (%d)",
+			len(m.Valid), len(m.Train))
+	}
+}

@@ -1,0 +1,247 @@
+package ga
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{0, 0}, true},
+		{[]float64{1, 0}, []float64{0, 1}, false},
+		{[]float64{1, 1}, []float64{1, 1}, false},
+		{[]float64{1, 2}, []float64{1, 1}, true},
+		{[]float64{0, 2}, []float64{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNonDominatedSortKnown(t *testing.T) {
+	objs := [][]float64{
+		{1, 1}, // dominated by everything on the front
+		{3, 1}, // front 0
+		{2, 2}, // front 0
+		{1, 3}, // front 0
+		{2, 1}, // front 1 (dominated by {3,1} and {2,2})
+	}
+	fronts := NonDominatedSort(objs)
+	if len(fronts) != 3 {
+		t.Fatalf("fronts = %d, want 3", len(fronts))
+	}
+	got := append([]int(nil), fronts[0]...)
+	sort.Ints(got)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("front0 = %v, want %v", got, want)
+		}
+	}
+	if fronts[1][0] != 4 || fronts[2][0] != 0 {
+		t.Fatalf("fronts = %v", fronts)
+	}
+}
+
+// Property: every individual lands in exactly one front, and no individual
+// dominates another within the same front.
+func TestNonDominatedSortProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%30 + 2
+		objs := make([][]float64, n)
+		for i := range objs {
+			objs[i] = []float64{float64(rng.Intn(6)), float64(rng.Intn(6))}
+		}
+		fronts := NonDominatedSort(objs)
+		seen := make([]bool, n)
+		for _, front := range fronts {
+			for _, i := range front {
+				if seen[i] {
+					return false
+				}
+				seen[i] = true
+			}
+			for _, i := range front {
+				for _, j := range front {
+					if i != j && Dominates(objs[i], objs[j]) {
+						return false
+					}
+				}
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrowdingDistanceBoundaries(t *testing.T) {
+	objs := [][]float64{{0, 3}, {1, 2}, {2, 1}, {3, 0}}
+	front := []int{0, 1, 2, 3}
+	d := CrowdingDistance(objs, front)
+	if !math.IsInf(d[0], 1) || !math.IsInf(d[3], 1) {
+		t.Fatalf("boundary distances not infinite: %v", d)
+	}
+	if math.IsInf(d[1], 1) || d[1] <= 0 {
+		t.Fatalf("interior distance = %v", d[1])
+	}
+}
+
+func TestCrowdingDistanceSmallFronts(t *testing.T) {
+	objs := [][]float64{{1, 1}, {2, 2}}
+	d := CrowdingDistance(objs, []int{0})
+	if !math.IsInf(d[0], 1) {
+		t.Fatal("singleton front must be infinite")
+	}
+	if got := CrowdingDistance(objs, nil); len(got) != 0 {
+		t.Fatal("empty front should return empty distances")
+	}
+}
+
+func TestKneePicksBalanced(t *testing.T) {
+	objs := [][]float64{{1, 0}, {0.7, 0.7}, {0, 1}}
+	front := []int{0, 1, 2}
+	if got := Knee(objs, front); got != 1 {
+		t.Fatalf("Knee = %d, want 1 (balanced)", got)
+	}
+	if got := Knee(objs, nil); got != -1 {
+		t.Fatal("Knee of empty front should be -1")
+	}
+}
+
+func TestOrderCrossoverIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(9) + 2
+		p1 := rng.Perm(n)
+		p2 := rng.Perm(n)
+		child := orderCrossover(p1, p2, rng)
+		seen := make([]bool, n)
+		for _, v := range child {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("child %v is not a permutation of 0..%d", child, n-1)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSwapMutatePreservesPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := rng.Perm(8)
+	swapMutate(p, rng)
+	seen := make([]bool, 8)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatalf("mutation broke permutation: %v", p)
+		}
+		seen[v] = true
+	}
+	one := []int{0}
+	swapMutate(one, rng) // must not panic
+}
+
+func gaCluster() cluster.Config {
+	return cluster.Config{Name: "g", Resources: []string{"A", "B"}, Capacities: []int{100, 100}}
+}
+
+func mkPct(id int, a, b int, runtime float64) *job.Job {
+	return &job.Job{ID: id, Submit: 0, Runtime: runtime, Walltime: runtime, Demand: []int{a, b}}
+}
+
+// The Figure 1 scenario: four jobs where fixed-arrival FCFS wastes an hour
+// but a packing-aware method achieves the 2-hour makespan. The GA picker
+// must find the complementary pairing.
+func TestGAFindsComplementaryPairing(t *testing.T) {
+	// J1=(55,10) J2=(50,40) J3=(40,60) J4=(50,10):
+	// optimal pairs {J1,J3} and {J2,J4} -> makespan 2h.
+	jobs := []*job.Job{
+		mkPct(1, 55, 10, 3600),
+		mkPct(2, 50, 40, 3600),
+		mkPct(3, 40, 60, 3600),
+		mkPct(4, 50, 10, 3600),
+	}
+	p := sched.NewWindowPolicy(New(DefaultConfig()), 10)
+	s := sim.New(gaCluster(), p)
+	if err := s.Load(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	makespan := 0.0
+	for _, j := range jobs {
+		if j.End > makespan {
+			makespan = j.End
+		}
+	}
+	if makespan > 2*3600+1 {
+		t.Fatalf("GA makespan = %v h, want 2h", makespan/3600)
+	}
+}
+
+func TestGAPickReturnsFittingJobWhenPossible(t *testing.T) {
+	cl := cluster.New(gaCluster())
+	// Occupy most of resource A so only the small job fits.
+	if err := cl.Allocate(99, []int{90, 0}, 0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	window := []*job.Job{
+		mkPct(1, 50, 10, 100), // does not fit (A)
+		mkPct(2, 5, 5, 100),   // fits
+	}
+	ctx := &sched.PickContext{Now: 0, Window: window, Queue: window, Cluster: cl, Usage: cl.Usage()}
+	g := New(DefaultConfig())
+	if got := g.Pick(ctx); got != 1 {
+		t.Fatalf("Pick = %d, want 1 (the fitting job)", got)
+	}
+}
+
+func TestGAPickSingletonAndEmpty(t *testing.T) {
+	cl := cluster.New(gaCluster())
+	g := New(DefaultConfig())
+	ctx := &sched.PickContext{Now: 0, Window: []*job.Job{mkPct(1, 5, 5, 10)}, Cluster: cl}
+	if got := g.Pick(ctx); got != 0 {
+		t.Fatalf("singleton Pick = %d", got)
+	}
+	ctx.Window = nil
+	if got := g.Pick(ctx); got != -1 {
+		t.Fatalf("empty Pick = %d", got)
+	}
+}
+
+func TestGADeterministicForSeed(t *testing.T) {
+	mkCtx := func() *sched.PickContext {
+		cl := cluster.New(gaCluster())
+		window := []*job.Job{
+			mkPct(1, 55, 10, 100), mkPct(2, 50, 40, 100),
+			mkPct(3, 40, 60, 100), mkPct(4, 50, 10, 100),
+		}
+		return &sched.PickContext{Now: 0, Window: window, Queue: window, Cluster: cl, Usage: cl.Usage()}
+	}
+	a := New(DefaultConfig()).Pick(mkCtx())
+	b := New(DefaultConfig()).Pick(mkCtx())
+	if a != b {
+		t.Fatalf("same seed, different picks: %d vs %d", a, b)
+	}
+}

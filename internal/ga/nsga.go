@@ -1,0 +1,150 @@
+// Package ga implements the paper's "Optimization" comparison method
+// (§IV-D): multi-resource scheduling formulated as a multi-objective
+// optimization problem and solved with a genetic algorithm, following Fan et
+// al., "Scheduling Beyond CPUs for HPC" [13]. The GA searches orderings of
+// the window jobs, scores each ordering by the per-resource utilization a
+// greedy packing of it would achieve, keeps the Pareto-efficient orderings
+// via non-dominated sorting with crowding distance (NSGA-II), and picks the
+// knee of the first front for decision-making.
+package ga
+
+import (
+	"math"
+	"sort"
+)
+
+// Dominates reports whether objective vector a Pareto-dominates b under
+// maximization: a is no worse in every objective and strictly better in at
+// least one.
+func Dominates(a, b []float64) bool {
+	better := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+// NonDominatedSort partitions indices 0..len(objs)-1 into Pareto fronts
+// (fast non-dominated sort). Front 0 is the non-dominated set.
+func NonDominatedSort(objs [][]float64) [][]int {
+	n := len(objs)
+	dominatedBy := make([]int, n) // count of individuals dominating i
+	dominates := make([][]int, n) // individuals i dominates
+	var first []int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if Dominates(objs[i], objs[j]) {
+				dominates[i] = append(dominates[i], j)
+			} else if Dominates(objs[j], objs[i]) {
+				dominatedBy[i]++
+			}
+		}
+		if dominatedBy[i] == 0 {
+			first = append(first, i)
+		}
+	}
+	var fronts [][]int
+	cur := first
+	for len(cur) > 0 {
+		fronts = append(fronts, cur)
+		var next []int
+		for _, i := range cur {
+			for _, j := range dominates[i] {
+				dominatedBy[j]--
+				if dominatedBy[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		cur = next
+	}
+	return fronts
+}
+
+// CrowdingDistance returns the NSGA-II crowding distance of each member of
+// front (indexed parallel to front). Boundary solutions get +Inf.
+func CrowdingDistance(objs [][]float64, front []int) []float64 {
+	m := len(front)
+	dist := make([]float64, m)
+	if m == 0 {
+		return dist
+	}
+	if m <= 2 {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		return dist
+	}
+	numObj := len(objs[front[0]])
+	order := make([]int, m) // positions into front
+	for k := 0; k < numObj; k++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return objs[front[order[a]]][k] < objs[front[order[b]]][k]
+		})
+		lo := objs[front[order[0]]][k]
+		hi := objs[front[order[m-1]]][k]
+		dist[order[0]] = math.Inf(1)
+		dist[order[m-1]] = math.Inf(1)
+		span := hi - lo
+		if span == 0 {
+			continue
+		}
+		for i := 1; i < m-1; i++ {
+			gap := objs[front[order[i+1]]][k] - objs[front[order[i-1]]][k]
+			dist[order[i]] += gap / span
+		}
+	}
+	return dist
+}
+
+// Knee returns the member of front whose min-max-normalized objective sum is
+// largest — the balanced compromise used for decision-making once the Pareto
+// set has been explored.
+func Knee(objs [][]float64, front []int) int {
+	if len(front) == 0 {
+		return -1
+	}
+	numObj := len(objs[front[0]])
+	lo := make([]float64, numObj)
+	hi := make([]float64, numObj)
+	for k := 0; k < numObj; k++ {
+		lo[k], hi[k] = math.Inf(1), math.Inf(-1)
+	}
+	for _, i := range front {
+		for k, v := range objs[i] {
+			if v < lo[k] {
+				lo[k] = v
+			}
+			if v > hi[k] {
+				hi[k] = v
+			}
+		}
+	}
+	best, bestScore := front[0], math.Inf(-1)
+	for _, i := range front {
+		score := 0.0
+		for k, v := range objs[i] {
+			span := hi[k] - lo[k]
+			if span > 0 {
+				score += (v - lo[k]) / span
+			} else {
+				score += 1
+			}
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,194 @@
+package ga
+
+import (
+	"math/rand"
+
+	"repro/internal/sched"
+)
+
+// Config tunes the GA picker. The defaults follow the scale of [13]: a small
+// population evolved for a few dozen generations per scheduling instance,
+// which keeps decision latency well inside the paper's 15-30 s budget.
+type Config struct {
+	Population  int
+	Generations int
+	CrossProb   float64
+	MutProb     float64
+	Seed        int64
+}
+
+// DefaultConfig returns the settings used in the experiments.
+func DefaultConfig() Config {
+	return Config{Population: 24, Generations: 30, CrossProb: 0.9, MutProb: 0.2, Seed: 1}
+}
+
+// Scheduler is the multi-objective GA picker. For a fair comparison it uses
+// the same window as MRSch (§IV-D).
+type Scheduler struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New builds a GA scheduler.
+func New(cfg Config) *Scheduler {
+	if cfg.Population < 4 {
+		cfg.Population = 4
+	}
+	if cfg.Generations < 1 {
+		cfg.Generations = 1
+	}
+	return &Scheduler{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+var _ sched.Picker = (*Scheduler)(nil)
+
+// Pick implements sched.Picker: evolve orderings of the window, keep the
+// Pareto-best, and return the first job of the knee ordering that fits (or
+// the knee's head job, which then becomes the reservation).
+func (g *Scheduler) Pick(ctx *sched.PickContext) int {
+	w := len(ctx.Window)
+	if w == 0 {
+		return -1
+	}
+	if w == 1 {
+		return 0
+	}
+
+	pop := make([][]int, g.cfg.Population)
+	for i := range pop {
+		pop[i] = g.rng.Perm(w)
+	}
+	objs := make([][]float64, len(pop))
+	for i, perm := range pop {
+		objs[i] = g.evaluate(ctx, perm)
+	}
+
+	for gen := 0; gen < g.cfg.Generations; gen++ {
+		fronts := NonDominatedSort(objs)
+		rank := make([]int, len(pop))
+		crowd := make([]float64, len(pop))
+		for fi, front := range fronts {
+			d := CrowdingDistance(objs, front)
+			for k, idx := range front {
+				rank[idx] = fi
+				crowd[idx] = d[k]
+			}
+		}
+		next := make([][]int, 0, len(pop))
+		for len(next) < len(pop) {
+			p1 := g.tournament(rank, crowd)
+			p2 := g.tournament(rank, crowd)
+			var child []int
+			if g.rng.Float64() < g.cfg.CrossProb {
+				child = orderCrossover(pop[p1], pop[p2], g.rng)
+			} else {
+				child = append([]int(nil), pop[p1]...)
+			}
+			if g.rng.Float64() < g.cfg.MutProb {
+				swapMutate(child, g.rng)
+			}
+			next = append(next, child)
+		}
+		// Elitism: preserve the current front-0 knee in slot 0.
+		if len(fronts) > 0 {
+			if knee := Knee(objs, fronts[0]); knee >= 0 {
+				next[0] = append([]int(nil), pop[knee]...)
+			}
+		}
+		pop = next
+		for i, perm := range pop {
+			objs[i] = g.evaluate(ctx, perm)
+		}
+	}
+
+	fronts := NonDominatedSort(objs)
+	knee := Knee(objs, fronts[0])
+	perm := pop[knee]
+
+	free := ctx.Cluster.FreeVec()
+	for _, wi := range perm {
+		if fitsVec(ctx.Window[wi].Demand, free) {
+			return wi
+		}
+	}
+	return perm[0]
+}
+
+// evaluate greedily packs jobs in permutation order onto the current free
+// resources and returns the resulting per-resource utilization — the
+// multi-objective fitness (maximize each resource's utilization).
+func (g *Scheduler) evaluate(ctx *sched.PickContext, perm []int) []float64 {
+	cl := ctx.Cluster
+	free := cl.FreeVec()
+	for _, wi := range perm {
+		d := ctx.Window[wi].Demand
+		if fitsVec(d, free) {
+			for r, need := range d {
+				free[r] -= need
+			}
+		}
+	}
+	out := make([]float64, cl.NumResources())
+	for r := range out {
+		out[r] = float64(cl.Capacity(r)-free[r]) / float64(cl.Capacity(r))
+	}
+	return out
+}
+
+func (g *Scheduler) tournament(rank []int, crowd []float64) int {
+	a := g.rng.Intn(len(rank))
+	b := g.rng.Intn(len(rank))
+	if rank[a] < rank[b] || (rank[a] == rank[b] && crowd[a] > crowd[b]) {
+		return a
+	}
+	return b
+}
+
+func fitsVec(demand, free []int) bool {
+	for r, d := range demand {
+		if d > free[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// orderCrossover is the OX operator: keep p1's segment [a,b] in place and
+// fill the remaining positions, starting after b and wrapping, with the
+// missing values in the order they appear in p2 (also scanned from b+1).
+func orderCrossover(p1, p2 []int, rng *rand.Rand) []int {
+	n := len(p1)
+	a, b := rng.Intn(n), rng.Intn(n)
+	if a > b {
+		a, b = b, a
+	}
+	child := make([]int, n)
+	used := make([]bool, n)
+	for i := a; i <= b; i++ {
+		child[i] = p1[i]
+		used[p1[i]] = true
+	}
+	pos := (b + 1) % n
+	for k := 0; k < n; k++ {
+		v := p2[(b+1+k)%n]
+		if used[v] {
+			continue
+		}
+		for pos >= a && pos <= b {
+			pos = (pos + 1) % n
+		}
+		child[pos] = v
+		used[v] = true
+		pos = (pos + 1) % n
+	}
+	return child
+}
+
+func swapMutate(perm []int, rng *rand.Rand) {
+	n := len(perm)
+	if n < 2 {
+		return
+	}
+	a, b := rng.Intn(n), rng.Intn(n)
+	perm[a], perm[b] = perm[b], perm[a]
+}

@@ -1,0 +1,146 @@
+// Package job defines the multi-resource HPC job model used throughout the
+// reproduction and a plain-text trace format for persisting workloads.
+//
+// A job is rigid (fixed resource demand, as §I of the paper emphasizes for
+// HPC), requests an integral number of units of each schedulable resource
+// (nodes, burst-buffer TB, power kW, ...), and carries both its actual
+// runtime (known to the trace/simulator) and the user-supplied walltime
+// estimate (the only duration the scheduler may see).
+package job
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State is a job's position in its lifecycle.
+type State int
+
+// Job lifecycle states.
+const (
+	Queued State = iota
+	Running
+	Finished
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Finished:
+		return "finished"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Job is a rigid multi-resource batch job. Times are seconds from the start
+// of the trace. Demand[r] is the number of units of resource r requested;
+// the meaning of a unit (node, TB, kW) is fixed by the cluster configuration
+// the job is scheduled on.
+type Job struct {
+	ID       int
+	Submit   float64
+	Runtime  float64 // actual runtime from the trace; hidden from schedulers
+	Walltime float64 // user-supplied estimate; what schedulers plan with
+	Demand   []int
+
+	// Simulation state, managed by internal/sim.
+	State State
+	Start float64
+	End   float64
+}
+
+// Validate reports whether the job is well-formed for a system with
+// resources capacities caps (nil caps skips the capacity check).
+func (j *Job) Validate(caps []int) error {
+	if j.Submit < 0 {
+		return fmt.Errorf("job %d: negative submit time %v", j.ID, j.Submit)
+	}
+	if j.Runtime <= 0 {
+		return fmt.Errorf("job %d: non-positive runtime %v", j.ID, j.Runtime)
+	}
+	if j.Walltime <= 0 {
+		return fmt.Errorf("job %d: non-positive walltime %v", j.ID, j.Walltime)
+	}
+	if len(j.Demand) == 0 {
+		return fmt.Errorf("job %d: no resource demands", j.ID)
+	}
+	if caps != nil && len(caps) != len(j.Demand) {
+		return fmt.Errorf("job %d: %d demands for %d resources", j.ID, len(j.Demand), len(caps))
+	}
+	for r, d := range j.Demand {
+		if d < 0 {
+			return fmt.Errorf("job %d: negative demand %d for resource %d", j.ID, d, r)
+		}
+		if caps != nil && d > caps[r] {
+			return fmt.Errorf("job %d: demand %d exceeds capacity %d of resource %d", j.ID, d, caps[r], r)
+		}
+	}
+	if j.Demand[0] <= 0 {
+		return fmt.Errorf("job %d: primary resource demand must be positive", j.ID)
+	}
+	return nil
+}
+
+// Wait returns the queuing delay of a finished or running job.
+func (j *Job) Wait() float64 { return j.Start - j.Submit }
+
+// Slowdown returns the ratio of response time (wait+runtime) to runtime,
+// the responsiveness metric of §IV-B.
+func (j *Job) Slowdown() float64 {
+	if j.Runtime <= 0 {
+		return 1
+	}
+	return (j.Wait() + j.Runtime) / j.Runtime
+}
+
+// Clone returns a deep copy of the job with simulation state reset, so a
+// single workload can be replayed through many schedulers independently.
+func (j *Job) Clone() *Job {
+	d := make([]int, len(j.Demand))
+	copy(d, j.Demand)
+	return &Job{
+		ID:       j.ID,
+		Submit:   j.Submit,
+		Runtime:  j.Runtime,
+		Walltime: j.Walltime,
+		Demand:   d,
+	}
+}
+
+// CloneAll deep-copies a slice of jobs, resetting simulation state.
+func CloneAll(jobs []*Job) []*Job {
+	out := make([]*Job, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Clone()
+	}
+	return out
+}
+
+// SortBySubmit orders jobs by submit time (stable on ID for ties), the order
+// a trace-driven simulator replays them in.
+func SortBySubmit(jobs []*Job) {
+	sort.SliceStable(jobs, func(a, b int) bool {
+		if jobs[a].Submit != jobs[b].Submit {
+			return jobs[a].Submit < jobs[b].Submit
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+}
+
+// TotalDemandSeconds returns, per resource, the sum over jobs of
+// demand*walltime — the numerator of the paper's Eq. (1) before
+// normalization (using estimates, as the scheduler would).
+func TotalDemandSeconds(jobs []*Job, resources int) []float64 {
+	out := make([]float64, resources)
+	for _, j := range jobs {
+		for r := 0; r < resources && r < len(j.Demand); r++ {
+			out[r] += float64(j.Demand[r]) * j.Walltime
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package job
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleSWF = `; Parallel Workloads Archive style header
+; MaxJobs: 5
+1 0 10 3600 64 -1 -1 64 7200 -1 1 5 5 1 1 -1 -1 -1
+2 100 0 1800 128 -1 -1 128 3600 -1 1 5 5 1 1 -1 -1 -1
+3 200 -1 -1 64 -1 -1 64 3600 -1 0 5 5 1 1 -1 -1 -1
+4 300 5 60 -1 -1 -1 32 -1 -1 1 5 5 1 1 -1 -1 -1
+`
+
+func TestReadSWFBasics(t *testing.T) {
+	jobs, skipped, err := ReadSWF(strings.NewReader(sampleSWF), SWFOptions{ProcsPerNode: 64, Resources: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 3 has runtime -1: skipped.
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", skipped)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("parsed %d jobs, want 3", len(jobs))
+	}
+	j1 := jobs[0]
+	if j1.ID != 1 || j1.Submit != 0 || j1.Runtime != 3600 || j1.Walltime != 7200 {
+		t.Fatalf("job1 = %+v", j1)
+	}
+	if j1.Demand[0] != 1 { // 64 procs / 64 per node
+		t.Fatalf("job1 nodes = %d, want 1", j1.Demand[0])
+	}
+	if len(j1.Demand) != 2 || j1.Demand[1] != 0 {
+		t.Fatalf("job1 demand arity: %v", j1.Demand)
+	}
+	// Job 4: allocated procs -1, falls back to requested 32 -> ceil(32/64)=1.
+	j4 := jobs[2]
+	if j4.ID != 4 || j4.Demand[0] != 1 {
+		t.Fatalf("job4 = %+v", j4)
+	}
+	// Walltime fallback to runtime when requested time is -1.
+	if j4.Walltime != 60 {
+		t.Fatalf("job4 walltime = %v, want runtime fallback 60", j4.Walltime)
+	}
+}
+
+func TestReadSWFMaxJobs(t *testing.T) {
+	jobs, _, err := ReadSWF(strings.NewReader(sampleSWF), SWFOptions{MaxJobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("MaxJobs ignored: %d jobs", len(jobs))
+	}
+}
+
+func TestReadSWFRejectsShortRecords(t *testing.T) {
+	if _, _, err := ReadSWF(strings.NewReader("1 0 10 3600 64"), SWFOptions{}); err == nil {
+		t.Fatal("short record accepted")
+	}
+	if _, _, err := ReadSWF(strings.NewReader("x 0 10 3600 64 -1 -1 64 7200"), SWFOptions{}); err == nil {
+		t.Fatal("bad job number accepted")
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	orig := []*Job{
+		{ID: 1, Submit: 0, Runtime: 100, Walltime: 200, Demand: []int{4, 0}},
+		{ID: 2, Submit: 50, Runtime: 300, Walltime: 300, Demand: []int{16, 0}},
+	}
+	opts := SWFOptions{ProcsPerNode: 64, Resources: 2}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, orig, opts); err != nil {
+		t.Fatal(err)
+	}
+	back, skipped, err := ReadSWF(&buf, opts)
+	if err != nil || skipped != 0 {
+		t.Fatalf("err=%v skipped=%d", err, skipped)
+	}
+	if len(back) != 2 {
+		t.Fatalf("%d jobs", len(back))
+	}
+	for i := range orig {
+		if back[i].ID != orig[i].ID || back[i].Demand[0] != orig[i].Demand[0] ||
+			back[i].Runtime != orig[i].Runtime || back[i].Walltime != orig[i].Walltime {
+			t.Fatalf("job %d: %+v vs %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestSWFSortsBySubmit(t *testing.T) {
+	swf := "2 100 0 10 1 -1 -1 1 10 -1 1 1 1 1 1 -1 -1 -1\n" +
+		"1 50 0 10 1 -1 -1 1 10 -1 1 1 1 1 1 -1 -1 -1\n"
+	jobs, _, err := ReadSWF(strings.NewReader(swf), SWFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].ID != 1 {
+		t.Fatal("SWF import not sorted by submit time")
+	}
+}

@@ -1,0 +1,92 @@
+package job
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace I/O: a line-oriented plain-text format in the spirit of the Standard
+// Workload Format, extended with an arbitrary number of resource columns:
+//
+//	# comment
+//	id submit runtime walltime demand0 demand1 ... demandR-1
+//
+// Fields are whitespace-separated; times are float seconds; demands are
+// integer unit counts. All jobs in one trace must have the same number of
+// resource columns.
+
+// WriteTrace writes jobs to w in trace format, preceded by a header comment
+// naming the resource columns.
+func WriteTrace(w io.Writer, jobs []*Job, resourceNames []string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# id submit runtime walltime %s\n", strings.Join(resourceNames, " "))
+	for _, j := range jobs {
+		fmt.Fprintf(bw, "%d %.3f %.3f %.3f", j.ID, j.Submit, j.Runtime, j.Walltime)
+		for _, d := range j.Demand {
+			fmt.Fprintf(bw, " %d", d)
+		}
+		fmt.Fprintln(bw)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("job: write trace: %w", err)
+	}
+	return nil
+}
+
+// ReadTrace parses a trace written by WriteTrace. Comment lines (#) and
+// blank lines are ignored.
+func ReadTrace(r io.Reader) ([]*Job, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var jobs []*Job
+	resources := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("job: trace line %d: need at least 5 fields, got %d", lineNo, len(fields))
+		}
+		if resources == -1 {
+			resources = len(fields) - 4
+		} else if len(fields)-4 != resources {
+			return nil, fmt.Errorf("job: trace line %d: %d resource columns, expected %d", lineNo, len(fields)-4, resources)
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("job: trace line %d: id: %w", lineNo, err)
+		}
+		submit, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("job: trace line %d: submit: %w", lineNo, err)
+		}
+		runtime, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("job: trace line %d: runtime: %w", lineNo, err)
+		}
+		walltime, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("job: trace line %d: walltime: %w", lineNo, err)
+		}
+		demand := make([]int, resources)
+		for i := 0; i < resources; i++ {
+			demand[i], err = strconv.Atoi(fields[4+i])
+			if err != nil {
+				return nil, fmt.Errorf("job: trace line %d: demand %d: %w", lineNo, i, err)
+			}
+		}
+		jobs = append(jobs, &Job{ID: id, Submit: submit, Runtime: runtime, Walltime: walltime, Demand: demand})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("job: read trace: %w", err)
+	}
+	SortBySubmit(jobs)
+	return jobs, nil
+}

@@ -1,0 +1,221 @@
+// Package metrics computes the paper's evaluation metrics (§IV-B): the
+// system-level node and burst-buffer utilizations, the user-level average
+// job wait time and average job slowdown, the §V-E average system power, the
+// Kiviat normalization used by Figures 7 and 10, and the box-plot statistics
+// of Figure 9.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// IdleNodeWatts is the idle draw per node used by the §V-E power accounting
+// (60 W, from the PoLiMEr measurements the paper cites).
+const IdleNodeWatts = 60.0
+
+// Report summarizes one simulation run.
+type Report struct {
+	Method   string
+	Workload string
+
+	// Utilization per resource in [0,1] (§IV-B metrics 1 and 2).
+	Utilization []float64
+	// AvgWaitSec is the mean submit->start interval (§IV-B metric 3).
+	AvgWaitSec float64
+	// AvgSlowdown is the mean (wait+runtime)/runtime (§IV-B metric 4).
+	AvgSlowdown float64
+	// Jobs is the number of completed jobs; MakespanSec the span from the
+	// first event to the last completion.
+	Jobs        int
+	MakespanSec float64
+
+	// AvgSysPowerKW is the mean power draw of running jobs (kW), present
+	// only for power-extended systems (§V-E); AvgTotalPowerKW adds the 60 W
+	// idle draw of unused nodes.
+	AvgSysPowerKW   float64
+	AvgTotalPowerKW float64
+}
+
+// Collect builds a Report from a finished simulation. powerResource is the
+// index of the power pool, or -1 when the system has none.
+func Collect(method, workload string, s *sim.Simulator, powerResource int) Report {
+	r := Report{Method: method, Workload: workload}
+	cl := s.Cluster()
+	for res := 0; res < cl.NumResources(); res++ {
+		r.Utilization = append(r.Utilization, s.Utilization(res))
+	}
+	start, end := s.ElapsedWindow()
+	r.MakespanSec = end - start
+
+	var waitSum, sdSum float64
+	for _, j := range s.Finished() {
+		waitSum += j.Wait()
+		sdSum += j.Slowdown()
+	}
+	r.Jobs = len(s.Finished())
+	if r.Jobs > 0 {
+		r.AvgWaitSec = waitSum / float64(r.Jobs)
+		r.AvgSlowdown = sdSum / float64(r.Jobs)
+	}
+
+	if powerResource >= 0 && r.MakespanSec > 0 {
+		// Power units are kW, so unit-seconds / elapsed = average kW.
+		r.AvgSysPowerKW = s.ResourceSeconds(powerResource) / r.MakespanSec
+		idleNodeSeconds := float64(cl.Capacity(0))*r.MakespanSec - s.ResourceSeconds(0)
+		r.AvgTotalPowerKW = r.AvgSysPowerKW + IdleNodeWatts*idleNodeSeconds/r.MakespanSec/1000
+	}
+	return r
+}
+
+// AvgWaitHours converts the wait metric to the hours the paper plots.
+func (r Report) AvgWaitHours() float64 { return r.AvgWaitSec / 3600 }
+
+// String renders one summary line.
+func (r Report) String() string {
+	s := fmt.Sprintf("%-12s %-4s util=%v wait=%.2fh slowdown=%.2f jobs=%d",
+		r.Method, r.Workload, fmtUtil(r.Utilization), r.AvgWaitHours(), r.AvgSlowdown, r.Jobs)
+	if r.AvgSysPowerKW > 0 {
+		s += fmt.Sprintf(" power=%.1fkW", r.AvgSysPowerKW)
+	}
+	return s
+}
+
+func fmtUtil(u []float64) string {
+	out := "["
+	for i, v := range u {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.1f%%", v*100)
+	}
+	return out + "]"
+}
+
+// KiviatAxes returns the axis labels of the paper's radar charts for a
+// report set: per-resource utilizations, 1/avg-wait, 1/avg-slowdown, and —
+// when power is present — average system power (Figures 7 and 10).
+func KiviatAxes(withPower bool) []string {
+	axes := []string{"Node Utilization", "Burst Buffer Utilization"}
+	if withPower {
+		axes = append(axes, "Avg_SysPower")
+	}
+	return append(axes, "1/Avg_Wait", "1/Avg_Slowdown")
+}
+
+// Kiviat normalizes a set of method reports (one workload) onto [0,1] per
+// axis, 1 = best method on that axis, exactly as Figures 7/10 are drawn.
+// Rows are returned in the order of the input reports; columns follow
+// KiviatAxes(withPower).
+func Kiviat(reports []Report, withPower bool) [][]float64 {
+	n := len(reports)
+	if n == 0 {
+		return nil
+	}
+	var cols [][]float64
+	colVal := func(f func(Report) float64) []float64 {
+		v := make([]float64, n)
+		for i, r := range reports {
+			v[i] = f(r)
+		}
+		return v
+	}
+	cols = append(cols, colVal(func(r Report) float64 { return r.Utilization[0] }))
+	cols = append(cols, colVal(func(r Report) float64 { return r.Utilization[1] }))
+	if withPower {
+		cols = append(cols, colVal(func(r Report) float64 { return r.AvgSysPowerKW }))
+	}
+	cols = append(cols, colVal(func(r Report) float64 { return safeInv(r.AvgWaitSec) }))
+	cols = append(cols, colVal(func(r Report) float64 { return safeInv(r.AvgSlowdown) }))
+
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, len(cols))
+	}
+	for c, col := range cols {
+		max := 0.0
+		for _, v := range col {
+			if v > max {
+				max = v
+			}
+		}
+		for i, v := range col {
+			if max > 0 {
+				out[i][c] = v / max
+			} else {
+				out[i][c] = 1
+			}
+		}
+	}
+	return out
+}
+
+func safeInv(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / x
+}
+
+// KiviatArea returns the polygon area of one normalized row — the paper's
+// "larger area outlined = better overall performance" reading.
+func KiviatArea(row []float64) float64 {
+	n := len(row)
+	if n < 3 {
+		return 0
+	}
+	area := 0.0
+	for i := 0; i < n; i++ {
+		area += row[i] * row[(i+1)%n]
+	}
+	return 0.5 * math.Sin(2*math.Pi/float64(n)) * area
+}
+
+// BoxStats are the five-number summary plus mean used by Figure 9.
+type BoxStats struct {
+	Min, Q1, Median, Q3, Max, Mean float64
+	N                              int
+}
+
+// Box computes BoxStats over samples (which it copies and sorts). Empty
+// input returns the zero value.
+func Box(samples []float64) BoxStats {
+	n := len(samples)
+	if n == 0 {
+		return BoxStats{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return BoxStats{
+		Min:    s[0],
+		Q1:     quantile(s, 0.25),
+		Median: quantile(s, 0.5),
+		Q3:     quantile(s, 0.75),
+		Max:    s[n-1],
+		Mean:   sum / float64(n),
+		N:      n,
+	}
+}
+
+// quantile performs linear interpolation on sorted data.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

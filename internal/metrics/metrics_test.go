@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func run2R(t *testing.T, jobs []*job.Job) *sim.Simulator {
+	t.Helper()
+	cfg := cluster.Config{Name: "m", Resources: []string{"nodes", "bb"}, Capacities: []int{10, 4}}
+	s := sim.New(cfg, sched.NewWindowPolicy(sched.FCFS{}, 10))
+	if err := s.Load(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCollectBasics(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 1, Submit: 0, Runtime: 100, Walltime: 100, Demand: []int{10, 0}},
+		{ID: 2, Submit: 0, Runtime: 100, Walltime: 100, Demand: []int{10, 4}},
+	}
+	s := run2R(t, jobs)
+	r := Collect("FCFS", "T", s, -1)
+	if r.Jobs != 2 {
+		t.Fatalf("jobs = %d", r.Jobs)
+	}
+	// Job 2 waits 100s; avg wait 50s; slowdowns (1 + 2)/2.
+	if math.Abs(r.AvgWaitSec-50) > 1e-9 {
+		t.Fatalf("wait = %v", r.AvgWaitSec)
+	}
+	if math.Abs(r.AvgSlowdown-1.5) > 1e-9 {
+		t.Fatalf("slowdown = %v", r.AvgSlowdown)
+	}
+	if math.Abs(r.Utilization[0]-1.0) > 1e-9 {
+		t.Fatalf("node util = %v", r.Utilization[0])
+	}
+	if math.Abs(r.MakespanSec-200) > 1e-9 {
+		t.Fatalf("makespan = %v", r.MakespanSec)
+	}
+	if r.AvgWaitHours() != 50.0/3600 {
+		t.Fatal("hours conversion wrong")
+	}
+	if r.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestCollectPower(t *testing.T) {
+	cfg := cluster.Config{Name: "p", Resources: []string{"nodes", "bb", "kw"}, Capacities: []int{10, 4, 8}}
+	s := sim.New(cfg, sched.NewWindowPolicy(sched.FCFS{}, 10))
+	jobs := []*job.Job{
+		{ID: 1, Submit: 0, Runtime: 100, Walltime: 100, Demand: []int{5, 0, 4}},
+	}
+	if err := s.Load(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	r := Collect("FCFS", "S6", s, 2)
+	// 4 kW for the whole window.
+	if math.Abs(r.AvgSysPowerKW-4) > 1e-9 {
+		t.Fatalf("sys power = %v", r.AvgSysPowerKW)
+	}
+	// Idle: 5 node-equivalents idle all along -> 5*60W = 0.3 kW extra.
+	if math.Abs(r.AvgTotalPowerKW-4.3) > 1e-9 {
+		t.Fatalf("total power = %v", r.AvgTotalPowerKW)
+	}
+}
+
+func TestKiviatNormalization(t *testing.T) {
+	reports := []Report{
+		{Method: "A", Utilization: []float64{0.8, 0.4}, AvgWaitSec: 100, AvgSlowdown: 2},
+		{Method: "B", Utilization: []float64{0.4, 0.8}, AvgWaitSec: 200, AvgSlowdown: 4},
+	}
+	rows := Kiviat(reports, false)
+	if len(rows) != 2 || len(rows[0]) != 4 {
+		t.Fatalf("kiviat shape %dx%d", len(rows), len(rows[0]))
+	}
+	// A is best on node util, wait, slowdown; B best on bb util.
+	if rows[0][0] != 1 || rows[1][0] != 0.5 {
+		t.Fatalf("node axis = %v / %v", rows[0][0], rows[1][0])
+	}
+	if rows[1][1] != 1 || rows[0][1] != 0.5 {
+		t.Fatalf("bb axis = %v / %v", rows[0][1], rows[1][1])
+	}
+	if rows[0][2] != 1 || rows[1][2] != 0.5 {
+		t.Fatalf("wait axis = %v / %v", rows[0][2], rows[1][2])
+	}
+	// Every normalized value must be in [0,1] and each column have a 1.
+	for c := 0; c < 4; c++ {
+		max := 0.0
+		for r := range rows {
+			if rows[r][c] < 0 || rows[r][c] > 1 {
+				t.Fatal("normalization out of range")
+			}
+			if rows[r][c] > max {
+				max = rows[r][c]
+			}
+		}
+		if max != 1 {
+			t.Fatalf("column %d has no best=1", c)
+		}
+	}
+}
+
+func TestKiviatWithPowerAxes(t *testing.T) {
+	if len(KiviatAxes(false)) != 4 || len(KiviatAxes(true)) != 5 {
+		t.Fatal("axis counts wrong")
+	}
+	reports := []Report{
+		{Method: "A", Utilization: []float64{0.5, 0.5}, AvgWaitSec: 10, AvgSlowdown: 2, AvgSysPowerKW: 300},
+		{Method: "B", Utilization: []float64{0.5, 0.5}, AvgWaitSec: 10, AvgSlowdown: 2, AvgSysPowerKW: 150},
+	}
+	rows := Kiviat(reports, true)
+	if len(rows[0]) != 5 {
+		t.Fatalf("power kiviat has %d axes", len(rows[0]))
+	}
+	if rows[0][2] != 1 || rows[1][2] != 0.5 {
+		t.Fatalf("power axis = %v / %v", rows[0][2], rows[1][2])
+	}
+}
+
+func TestKiviatAreaOrdering(t *testing.T) {
+	big := KiviatArea([]float64{1, 1, 1, 1})
+	small := KiviatArea([]float64{0.5, 0.5, 0.5, 0.5})
+	if big <= small {
+		t.Fatal("larger polygon should have larger area")
+	}
+	if got := KiviatArea([]float64{1, 1}); got != 0 {
+		t.Fatalf("degenerate polygon area = %v", got)
+	}
+	// Unit square (4 axes at 1.0) has area 2 with this formula.
+	if math.Abs(big-2) > 1e-12 {
+		t.Fatalf("unit 4-gon area = %v, want 2", big)
+	}
+}
+
+func TestBoxKnownValues(t *testing.T) {
+	b := Box([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.Mean != 3 || b.N != 5 {
+		t.Fatalf("box = %+v", b)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Fatalf("quartiles = %v/%v", b.Q1, b.Q3)
+	}
+	empty := Box(nil)
+	if empty.N != 0 {
+		t.Fatal("empty box should be zero")
+	}
+	single := Box([]float64{7})
+	if single.Min != 7 || single.Max != 7 || single.Median != 7 {
+		t.Fatalf("single box = %+v", single)
+	}
+}
+
+func TestBoxDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Box(in)
+	if in[0] != 3 || in[1] != 1 {
+		t.Fatal("Box sorted the caller's slice")
+	}
+}
+
+// Property: Min <= Q1 <= Median <= Q3 <= Max and Min <= Mean <= Max.
+func TestBoxOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, math.Mod(v, 1e6))
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		b := Box(vals)
+		ordered := b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max
+		meanOK := b.Mean >= b.Min-1e-9 && b.Mean <= b.Max+1e-9
+		return ordered && meanOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantile is monotone in q.
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		s := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				s = append(s, v)
+			}
+		}
+		if len(s) < 2 {
+			return true
+		}
+		sort.Float64s(s)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := quantile(s, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

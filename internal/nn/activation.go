@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeakyReLU applies f(x) = x for x>0, alpha*x otherwise. The paper's state
+// module uses leaky rectifiers between its fully-connected layers (§III-A).
+type LeakyReLU struct {
+	Alpha  float64
+	lastIn Vec
+}
+
+// NewLeakyReLU returns a leaky rectifier with the conventional alpha=0.01
+// slope when alpha<=0 is given.
+func NewLeakyReLU(alpha float64) *LeakyReLU {
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	return &LeakyReLU{Alpha: alpha}
+}
+
+// Forward applies the activation element-wise.
+func (l *LeakyReLU) Forward(x Vec) Vec {
+	l.lastIn = x
+	out := make(Vec, len(x))
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+		} else {
+			out[i] = l.Alpha * v
+		}
+	}
+	return out
+}
+
+// Backward routes gradients through the active/leaky regions.
+func (l *LeakyReLU) Backward(grad Vec) Vec {
+	if l.lastIn == nil {
+		panic("nn: LeakyReLU.Backward before Forward")
+	}
+	out := make(Vec, len(grad))
+	for i, g := range grad {
+		if l.lastIn[i] > 0 {
+			out[i] = g
+		} else {
+			out[i] = l.Alpha * g
+		}
+	}
+	return out
+}
+
+// Params implements Layer (no parameters).
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// OutSize implements Layer.
+func (l *LeakyReLU) OutSize(in int) int { return in }
+
+// Tanh applies the hyperbolic tangent element-wise.
+type Tanh struct {
+	lastOut Vec
+}
+
+// NewTanh returns a tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh element-wise.
+func (t *Tanh) Forward(x Vec) Vec {
+	out := make(Vec, len(x))
+	for i, v := range x {
+		out[i] = math.Tanh(v)
+	}
+	t.lastOut = out
+	return out
+}
+
+// Backward multiplies by 1-tanh^2.
+func (t *Tanh) Backward(grad Vec) Vec {
+	if t.lastOut == nil {
+		panic("nn: Tanh.Backward before Forward")
+	}
+	out := make(Vec, len(grad))
+	for i, g := range grad {
+		y := t.lastOut[i]
+		out[i] = g * (1 - y*y)
+	}
+	return out
+}
+
+// Params implements Layer (no parameters).
+func (t *Tanh) Params() []*Param { return nil }
+
+// OutSize implements Layer.
+func (t *Tanh) OutSize(in int) int { return in }
+
+// SoftmaxLayer turns logits into a probability distribution. Backward
+// applies the full softmax Jacobian, so it composes with any upstream loss
+// gradient (the policy-gradient baseline feeds dL/dp directly).
+type SoftmaxLayer struct {
+	lastOut Vec
+}
+
+// NewSoftmax returns a softmax output layer.
+func NewSoftmax() *SoftmaxLayer { return &SoftmaxLayer{} }
+
+// Forward computes a numerically-stable softmax.
+func (s *SoftmaxLayer) Forward(x Vec) Vec {
+	out := Softmax(x)
+	s.lastOut = out
+	return out
+}
+
+// Backward computes J^T grad where J is the softmax Jacobian.
+func (s *SoftmaxLayer) Backward(grad Vec) Vec {
+	p := s.lastOut
+	if p == nil {
+		panic("nn: Softmax.Backward before Forward")
+	}
+	if len(grad) != len(p) {
+		panic(fmt.Sprintf("nn: Softmax.Backward got %d grads, want %d", len(grad), len(p)))
+	}
+	dot := Dot(grad, p)
+	out := make(Vec, len(p))
+	for i := range p {
+		out[i] = p[i] * (grad[i] - dot)
+	}
+	return out
+}
+
+// Params implements Layer (no parameters).
+func (s *SoftmaxLayer) Params() []*Param { return nil }
+
+// OutSize implements Layer.
+func (s *SoftmaxLayer) OutSize(in int) int { return in }

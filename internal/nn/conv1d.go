@@ -1,0 +1,174 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Conv1D is a one-dimensional convolution over a channel-major input layout
+// ([ch0 pos0..posL-1, ch1 pos0..posL-1, ...]). It exists to reproduce the
+// paper's Figure 3 ablation, which compares the original DFP's convolutional
+// state module against MRSch's MLP state module.
+type Conv1D struct {
+	InCh, OutCh int
+	InLen       int
+	Kernel      int
+	Stride      int
+	outLen      int
+	W           *Param // OutCh x InCh x Kernel
+	B           *Param // OutCh
+	lastIn      Vec
+}
+
+// NewConv1D builds a convolution layer. Output length is
+// floor((inLen-kernel)/stride)+1; it panics if the geometry is infeasible.
+func NewConv1D(inCh, inLen, outCh, kernel, stride int, rng *rand.Rand) *Conv1D {
+	if kernel <= 0 || stride <= 0 || inLen < kernel {
+		panic(fmt.Sprintf("nn: NewConv1D bad geometry inLen=%d kernel=%d stride=%d", inLen, kernel, stride))
+	}
+	outLen := (inLen-kernel)/stride + 1
+	c := &Conv1D{
+		InCh: inCh, OutCh: outCh, InLen: inLen,
+		Kernel: kernel, Stride: stride, outLen: outLen,
+		W: NewParam(fmt.Sprintf("conv1d_%dx%dx%d_w", outCh, inCh, kernel), outCh*inCh*kernel),
+		B: NewParam(fmt.Sprintf("conv1d_%d_b", outCh), outCh),
+	}
+	initWeights(c.W.Value, inCh*kernel, outCh, HeInit, rng)
+	return c
+}
+
+// OutLen reports the spatial length of the output per channel.
+func (c *Conv1D) OutLen() int { return c.outLen }
+
+func (c *Conv1D) wAt(oc, ic, k int) int { return (oc*c.InCh+ic)*c.Kernel + k }
+
+// Forward performs the convolution. Input length must be InCh*InLen.
+func (c *Conv1D) Forward(x Vec) Vec {
+	if len(x) != c.InCh*c.InLen {
+		panic(fmt.Sprintf("nn: Conv1D.Forward got %d inputs, want %d", len(x), c.InCh*c.InLen))
+	}
+	c.lastIn = x
+	out := make(Vec, c.OutCh*c.outLen)
+	for oc := 0; oc < c.OutCh; oc++ {
+		for p := 0; p < c.outLen; p++ {
+			s := c.B.Value[oc]
+			base := p * c.Stride
+			for ic := 0; ic < c.InCh; ic++ {
+				in := x[ic*c.InLen:]
+				for k := 0; k < c.Kernel; k++ {
+					s += c.W.Value[c.wAt(oc, ic, k)] * in[base+k]
+				}
+			}
+			out[oc*c.outLen+p] = s
+		}
+	}
+	return out
+}
+
+// Backward accumulates kernel/bias gradients and returns input gradients.
+func (c *Conv1D) Backward(grad Vec) Vec {
+	if len(grad) != c.OutCh*c.outLen {
+		panic(fmt.Sprintf("nn: Conv1D.Backward got %d grads, want %d", len(grad), c.OutCh*c.outLen))
+	}
+	if c.lastIn == nil {
+		panic("nn: Conv1D.Backward before Forward")
+	}
+	gin := make(Vec, len(c.lastIn))
+	for oc := 0; oc < c.OutCh; oc++ {
+		for p := 0; p < c.outLen; p++ {
+			g := grad[oc*c.outLen+p]
+			if g == 0 {
+				continue
+			}
+			c.B.Grad[oc] += g
+			base := p * c.Stride
+			for ic := 0; ic < c.InCh; ic++ {
+				in := c.lastIn[ic*c.InLen:]
+				ginCh := gin[ic*c.InLen:]
+				for k := 0; k < c.Kernel; k++ {
+					wi := c.wAt(oc, ic, k)
+					c.W.Grad[wi] += g * in[base+k]
+					ginCh[base+k] += g * c.W.Value[wi]
+				}
+			}
+		}
+	}
+	return gin
+}
+
+// Params returns kernel and bias parameters.
+func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// OutSize implements Layer.
+func (c *Conv1D) OutSize(in int) int {
+	if in != c.InCh*c.InLen {
+		panic(fmt.Sprintf("nn: Conv1D.OutSize input %d, layer expects %d", in, c.InCh*c.InLen))
+	}
+	return c.OutCh * c.outLen
+}
+
+// MaxPool1D downsamples each channel by taking the maximum over
+// non-overlapping windows of size Pool.
+type MaxPool1D struct {
+	Ch, InLen, Pool int
+	outLen          int
+	argmax          []int
+}
+
+// NewMaxPool1D builds a max-pool layer; trailing elements that do not fill a
+// complete window are dropped (TensorFlow "valid" semantics).
+func NewMaxPool1D(ch, inLen, pool int) *MaxPool1D {
+	if pool <= 0 || inLen < pool {
+		panic(fmt.Sprintf("nn: NewMaxPool1D bad geometry inLen=%d pool=%d", inLen, pool))
+	}
+	return &MaxPool1D{Ch: ch, InLen: inLen, Pool: pool, outLen: inLen / pool}
+}
+
+// OutLen reports the pooled spatial length per channel.
+func (m *MaxPool1D) OutLen() int { return m.outLen }
+
+// Forward records argmax indices for the backward pass.
+func (m *MaxPool1D) Forward(x Vec) Vec {
+	if len(x) != m.Ch*m.InLen {
+		panic(fmt.Sprintf("nn: MaxPool1D.Forward got %d inputs, want %d", len(x), m.Ch*m.InLen))
+	}
+	out := make(Vec, m.Ch*m.outLen)
+	m.argmax = make([]int, m.Ch*m.outLen)
+	for c := 0; c < m.Ch; c++ {
+		in := x[c*m.InLen:]
+		for p := 0; p < m.outLen; p++ {
+			best := p * m.Pool
+			for k := 1; k < m.Pool; k++ {
+				if in[p*m.Pool+k] > in[best] {
+					best = p*m.Pool + k
+				}
+			}
+			out[c*m.outLen+p] = in[best]
+			m.argmax[c*m.outLen+p] = c*m.InLen + best
+		}
+	}
+	return out
+}
+
+// Backward routes each gradient to the position that won the max.
+func (m *MaxPool1D) Backward(grad Vec) Vec {
+	if m.argmax == nil {
+		panic("nn: MaxPool1D.Backward before Forward")
+	}
+	gin := make(Vec, m.Ch*m.InLen)
+	for i, g := range grad {
+		gin[m.argmax[i]] += g
+	}
+	return gin
+}
+
+// Params implements Layer (no parameters).
+func (m *MaxPool1D) Params() []*Param { return nil }
+
+// OutSize implements Layer.
+func (m *MaxPool1D) OutSize(in int) int {
+	if in != m.Ch*m.InLen {
+		panic(fmt.Sprintf("nn: MaxPool1D.OutSize input %d, layer expects %d", in, m.Ch*m.InLen))
+	}
+	return m.Ch * m.outLen
+}

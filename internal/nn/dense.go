@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dense is a fully-connected layer: y = W*x + b, with W stored row-major
+// (out x in). It is the workhorse of every network in the paper: the state,
+// measurement and goal modules, the dueling streams, and the policy-gradient
+// baseline are all stacks of Dense layers.
+type Dense struct {
+	In, Out int
+	W       *Param // len In*Out, row-major (row = output neuron)
+	B       *Param // len Out
+
+	lastIn Vec // input saved by Forward for Backward
+}
+
+// NewDense constructs an in->out fully-connected layer with the given
+// initialization scheme.
+func NewDense(in, out int, scheme Init, rng *rand.Rand) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: NewDense invalid dims %dx%d", in, out))
+	}
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   NewParam(fmt.Sprintf("dense_%dx%d_w", in, out), in*out),
+		B:   NewParam(fmt.Sprintf("dense_%dx%d_b", in, out), out),
+	}
+	initWeights(d.W.Value, in, out, scheme, rng)
+	return d
+}
+
+// Forward computes W*x+b and retains x for Backward.
+func (d *Dense) Forward(x Vec) Vec {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: Dense.Forward got %d inputs, want %d", len(x), d.In))
+	}
+	d.lastIn = x
+	out := make(Vec, d.Out)
+	w := d.W.Value
+	for o := 0; o < d.Out; o++ {
+		row := w[o*d.In : (o+1)*d.In]
+		var s float64
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		out[o] = s + d.B.Value[o]
+	}
+	return out
+}
+
+// Backward accumulates dL/dW and dL/db and returns dL/dx.
+func (d *Dense) Backward(grad Vec) Vec {
+	if len(grad) != d.Out {
+		panic(fmt.Sprintf("nn: Dense.Backward got %d grads, want %d", len(grad), d.Out))
+	}
+	if d.lastIn == nil {
+		panic("nn: Dense.Backward before Forward")
+	}
+	x := d.lastIn
+	gw := d.W.Grad
+	gin := make(Vec, d.In)
+	w := d.W.Value
+	for o, g := range grad {
+		if g == 0 {
+			continue
+		}
+		d.B.Grad[o] += g
+		row := w[o*d.In : (o+1)*d.In]
+		grow := gw[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			grow[i] += g * xi
+			gin[i] += g * row[i]
+		}
+	}
+	return gin
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// OutSize implements Layer.
+func (d *Dense) OutSize(in int) int {
+	if in != d.In {
+		panic(fmt.Sprintf("nn: Dense.OutSize input %d, layer expects %d", in, d.In))
+	}
+	return d.Out
+}

@@ -1,0 +1,18 @@
+// Package nn is a small, dependency-free neural-network substrate.
+//
+// The MRSch paper implements its agent in TensorFlow; this package is the
+// stdlib-only substitute. It provides exactly what the paper's networks need:
+// fully-connected (Dense) layers, 1-D convolution and pooling (for the CNN
+// state-module ablation of Figure 3), leaky-rectifier activations, softmax,
+// mean-squared-error and policy-gradient losses, SGD/Adam optimizers, and
+// weight (de)serialization. Layers operate on single samples ([]float64);
+// batching is performed by looping and accumulating gradients, which is both
+// simple and fast enough for the layer sizes used in the paper (the largest
+// is 11410 -> 4000).
+//
+// All layers implement the Layer interface. Backward must be called after
+// Forward on the same input; it accumulates parameter gradients and returns
+// the gradient with respect to the layer input, so arbitrary directed
+// compositions (such as DFP's three-branch, two-stream topology) can be wired
+// by hand in higher-level packages.
+package nn

@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is a learnable tensor with its accumulated gradient. Optimizers
+// update Value from Grad; Grad is accumulated across Backward calls until
+// the optimizer zeroes it.
+type Param struct {
+	Name  string
+	Value Vec
+	Grad  Vec
+}
+
+// NewParam allocates a parameter of n elements named name.
+func NewParam(name string, n int) *Param {
+	return &Param{Name: name, Value: make(Vec, n), Grad: make(Vec, n)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { Fill(p.Grad, 0) }
+
+// Layer is a differentiable transformation of a single sample.
+//
+// Backward must be invoked after Forward with the gradient of the loss with
+// respect to the layer's most recent output; it accumulates parameter
+// gradients and returns the gradient with respect to the input. Layers keep
+// whatever forward state they need, so a Layer value must not be shared by
+// concurrent forward/backward passes.
+type Layer interface {
+	Forward(x Vec) Vec
+	Backward(grad Vec) Vec
+	Params() []*Param
+	// OutSize reports the length of the output vector for an input of
+	// length in. It lets Sequential validate composition at build time.
+	OutSize(in int) int
+}
+
+// Init is a weight-initialization scheme.
+type Init int
+
+// Supported initializations. HeInit suits rectifier activations (used for
+// the paper's leaky-ReLU stacks); XavierInit suits tanh/linear layers.
+const (
+	HeInit Init = iota
+	XavierInit
+	ZeroInit
+)
+
+// initWeights fills w (treated as fanOut x fanIn) according to scheme.
+func initWeights(w Vec, fanIn, fanOut int, scheme Init, rng *rand.Rand) {
+	switch scheme {
+	case ZeroInit:
+		Fill(w, 0)
+	case XavierInit:
+		// Uniform(-a, a) with a = sqrt(6/(fanIn+fanOut)).
+		a := math.Sqrt(6.0 / float64(fanIn+fanOut))
+		for i := range w {
+			w[i] = (rng.Float64()*2 - 1) * a
+		}
+	default: // HeInit
+		std := math.Sqrt(2.0 / float64(fanIn))
+		for i := range w {
+			w[i] = rng.NormFloat64() * std
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lossThrough builds a scalar loss from a network: squared distance of the
+// output from a fixed target, for a fixed input.
+func lossThrough(net Layer, in, target Vec) (loss func() float64, backward func()) {
+	loss = func() float64 {
+		out := net.Forward(in)
+		l, _ := MSE(out, target)
+		return l
+	}
+	backward = func() {
+		out := net.Forward(in)
+		_, g := MSE(out, target)
+		net.Backward(g)
+	}
+	return loss, backward
+}
+
+func TestDenseForwardKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(2, 2, ZeroInit, rng)
+	copy(d.W.Value, Vec{1, 2, 3, 4}) // rows: [1 2], [3 4]
+	copy(d.B.Value, Vec{10, 20})
+	out := d.Forward(Vec{1, 1})
+	if out[0] != 13 || out[1] != 27 {
+		t.Fatalf("Forward = %v, want [13 27]", out)
+	}
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDense(5, 3, HeInit, rng)
+	in := make(Vec, 5)
+	for i := range in {
+		in[i] = rng.NormFloat64()
+	}
+	target := Vec{0.1, -0.2, 0.3}
+	loss, backward := lossThrough(d, in, target)
+	if worst := GradCheck(d.Params(), loss, backward, 1e-5, 0); worst > 1e-4 {
+		t.Fatalf("Dense gradient check failed: max rel err %v", worst)
+	}
+}
+
+func TestDenseInputGradient(t *testing.T) {
+	// Verify dL/dx numerically too, since composed networks depend on it.
+	rng := rand.New(rand.NewSource(2))
+	d := NewDense(4, 2, HeInit, rng)
+	in := Vec{0.5, -0.3, 0.8, 0.1}
+	target := Vec{1, -1}
+	out := d.Forward(in)
+	_, g := MSE(out, target)
+	gin := d.Backward(g)
+	eps := 1e-6
+	for i := range in {
+		orig := in[i]
+		in[i] = orig + eps
+		lp, _ := MSE(d.Forward(in), target)
+		in[i] = orig - eps
+		lm, _ := MSE(d.Forward(in), target)
+		in[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-gin[i]) > 1e-5 {
+			t.Fatalf("input grad[%d] = %v, numeric %v", i, gin[i], num)
+		}
+	}
+}
+
+func TestLeakyReLU(t *testing.T) {
+	l := NewLeakyReLU(0.1)
+	out := l.Forward(Vec{-2, 0, 3})
+	if out[0] != -0.2 || out[1] != 0 || out[2] != 3 {
+		t.Fatalf("LeakyReLU forward = %v", out)
+	}
+	gin := l.Backward(Vec{1, 1, 1})
+	if gin[0] != 0.1 || gin[2] != 1 {
+		t.Fatalf("LeakyReLU backward = %v", gin)
+	}
+}
+
+func TestLeakyReLUDefaultAlpha(t *testing.T) {
+	if NewLeakyReLU(0).Alpha != 0.01 {
+		t.Fatal("default alpha should be 0.01")
+	}
+	if NewLeakyReLU(-5).Alpha != 0.01 {
+		t.Fatal("negative alpha should fall back to 0.01")
+	}
+}
+
+func TestTanhGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewSequential(4, NewDense(4, 4, HeInit, rng), NewTanh(), NewDense(4, 2, HeInit, rng))
+	in := Vec{0.2, -0.4, 0.6, -0.8}
+	loss, backward := lossThrough(net, in, Vec{0.5, -0.5})
+	if worst := GradCheck(net.Params(), loss, backward, 1e-5, 0); worst > 1e-4 {
+		t.Fatalf("Tanh net gradient check failed: %v", worst)
+	}
+}
+
+func TestSoftmaxLayerJacobian(t *testing.T) {
+	s := NewSoftmax()
+	in := Vec{0.3, -1.2, 0.8, 0.0}
+	// Check J^T g numerically for an arbitrary upstream gradient.
+	g := Vec{0.7, -0.1, 0.4, 0.2}
+	s.Forward(in)
+	gin := s.Backward(g)
+	eps := 1e-6
+	for i := range in {
+		orig := in[i]
+		in[i] = orig + eps
+		pp := Softmax(in)
+		in[i] = orig - eps
+		pm := Softmax(in)
+		in[i] = orig
+		num := (Dot(pp, g) - Dot(pm, g)) / (2 * eps)
+		if math.Abs(num-gin[i]) > 1e-6 {
+			t.Fatalf("softmax grad[%d] = %v, numeric %v", i, gin[i], num)
+		}
+	}
+}
+
+func TestConv1DKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv1D(1, 4, 1, 2, 1, rng)
+	copy(c.W.Value, Vec{1, -1})
+	copy(c.B.Value, Vec{0.5})
+	out := c.Forward(Vec{1, 2, 3, 5})
+	// windows: (1-2), (2-3), (3-5) each +0.5
+	want := Vec{-0.5, -0.5, -1.5}
+	for i := range want {
+		if !almostEq(out[i], want[i], 1e-12) {
+			t.Fatalf("conv out = %v, want %v", out, want)
+		}
+	}
+	if c.OutLen() != 3 {
+		t.Fatalf("OutLen = %d, want 3", c.OutLen())
+	}
+}
+
+func TestConv1DGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := NewSequential(12,
+		NewConv1D(2, 6, 3, 3, 1, rng), // in 2ch x 6 -> 3ch x 4
+		NewLeakyReLU(0.01),
+		NewDense(12, 2, HeInit, rng),
+	)
+	in := make(Vec, 12)
+	for i := range in {
+		in[i] = rng.NormFloat64() * 0.5
+	}
+	loss, backward := lossThrough(net, in, Vec{0.2, -0.3})
+	if worst := GradCheck(net.Params(), loss, backward, 1e-5, 0); worst > 1e-4 {
+		t.Fatalf("Conv1D gradient check failed: %v", worst)
+	}
+}
+
+func TestConv1DStride(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv1D(1, 10, 1, 4, 2, rng)
+	if c.OutLen() != 4 { // (10-4)/2+1
+		t.Fatalf("OutLen = %d, want 4", c.OutLen())
+	}
+	out := c.Forward(make(Vec, 10))
+	if len(out) != 4 {
+		t.Fatalf("len(out) = %d, want 4", len(out))
+	}
+}
+
+func TestMaxPool1D(t *testing.T) {
+	m := NewMaxPool1D(2, 4, 2)
+	out := m.Forward(Vec{1, 3, 2, 0 /* ch0 */, 5, 4, 7, 8 /* ch1 */})
+	want := Vec{3, 2, 5, 8}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("pool out = %v, want %v", out, want)
+		}
+	}
+	gin := m.Backward(Vec{1, 1, 1, 1})
+	// Gradient must land on the argmax positions only.
+	wantG := Vec{0, 1, 1, 0, 1, 0, 0, 1}
+	for i := range wantG {
+		if gin[i] != wantG[i] {
+			t.Fatalf("pool grad = %v, want %v", gin, wantG)
+		}
+	}
+}
+
+func TestSequentialComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := NewSequential(8,
+		NewDense(8, 6, HeInit, rng),
+		NewLeakyReLU(0.01),
+		NewDense(6, 4, HeInit, rng),
+		NewLeakyReLU(0.01),
+		NewDense(4, 2, HeInit, rng),
+	)
+	if got := net.OutSize(8); got != 2 {
+		t.Fatalf("OutSize = %d, want 2", got)
+	}
+	if net.NumParams() != 8*6+6+6*4+4+4*2+2 {
+		t.Fatalf("NumParams = %d", net.NumParams())
+	}
+	out := net.Forward(make(Vec, 8))
+	if len(out) != 2 {
+		t.Fatalf("forward output len = %d", len(out))
+	}
+}
+
+func TestSequentialRejectsBadComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for incompatible layers")
+		}
+	}()
+	NewSequential(8, NewDense(8, 6, HeInit, rng), NewDense(7, 2, HeInit, rng))
+}
+
+func TestTrainingConvergesOnXOR(t *testing.T) {
+	// End-to-end sanity: a 2-layer net must learn XOR, proving forward,
+	// backward, and the optimizer cooperate.
+	rng := rand.New(rand.NewSource(42))
+	net := NewSequential(2,
+		NewDense(2, 8, HeInit, rng),
+		NewTanh(),
+		NewDense(8, 1, XavierInit, rng),
+	)
+	opt := NewAdam(0.02)
+	xs := []Vec{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	ys := []Vec{{0}, {1}, {1}, {0}}
+	var last float64
+	for epoch := 0; epoch < 800; epoch++ {
+		last = 0
+		for i, x := range xs {
+			out := net.Forward(x)
+			l, g := MSE(out, ys[i])
+			last += l
+			net.Backward(g)
+		}
+		opt.Step(net.Params())
+	}
+	if last/4 > 0.02 {
+		t.Fatalf("XOR did not converge: final avg loss %v", last/4)
+	}
+}

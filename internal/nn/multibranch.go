@@ -1,0 +1,109 @@
+package nn
+
+import "fmt"
+
+// Branch is one sub-network of a MultiBranch layer. It consumes the
+// concatenation of the given half-open index ranges of the layer input;
+// ranges may overlap between branches (gradients from overlapping reads
+// accumulate).
+type Branch struct {
+	Ranges [][2]int
+	Net    Layer
+}
+
+func (b *Branch) inSize() int {
+	n := 0
+	for _, r := range b.Ranges {
+		n += r[1] - r[0]
+	}
+	return n
+}
+
+// MultiBranch runs several sub-networks over (possibly overlapping) slices
+// of its input and concatenates their outputs. It exists to reproduce the
+// state-module design alternative discussed in §III-A of the paper: one
+// neural network per resource, each seeing the job window plus its own
+// resource's units — the configuration MRSch rejects in favour of a single
+// network. Ablation benchmarks compare both.
+type MultiBranch struct {
+	InSize   int
+	Branches []Branch
+	outSizes []int
+}
+
+// NewMultiBranch validates the branch geometry against the input size.
+func NewMultiBranch(inSize int, branches ...Branch) *MultiBranch {
+	m := &MultiBranch{InSize: inSize, Branches: branches}
+	for i, b := range branches {
+		for _, r := range b.Ranges {
+			if r[0] < 0 || r[1] > inSize || r[0] >= r[1] {
+				panic(fmt.Sprintf("nn: MultiBranch branch %d range %v invalid for input %d", i, r, inSize))
+			}
+		}
+		m.outSizes = append(m.outSizes, b.Net.OutSize(b.inSize()))
+	}
+	return m
+}
+
+// Forward gathers each branch's ranges, runs its net, and concatenates.
+func (m *MultiBranch) Forward(x Vec) Vec {
+	if len(x) != m.InSize {
+		panic(fmt.Sprintf("nn: MultiBranch.Forward got %d inputs, want %d", len(x), m.InSize))
+	}
+	var out Vec
+	for _, b := range m.Branches {
+		in := make(Vec, 0, b.inSize())
+		for _, r := range b.Ranges {
+			in = append(in, x[r[0]:r[1]]...)
+		}
+		out = append(out, b.Net.Forward(in)...)
+	}
+	return out
+}
+
+// Backward splits the output gradient per branch and scatter-adds each
+// branch's input gradient back into the shared input positions.
+func (m *MultiBranch) Backward(grad Vec) Vec {
+	gin := make(Vec, m.InSize)
+	off := 0
+	for i, b := range m.Branches {
+		g := grad[off : off+m.outSizes[i]]
+		off += m.outSizes[i]
+		gBranch := b.Net.Backward(g)
+		pos := 0
+		for _, r := range b.Ranges {
+			n := r[1] - r[0]
+			for k := 0; k < n; k++ {
+				gin[r[0]+k] += gBranch[pos+k]
+			}
+			pos += n
+		}
+	}
+	if off != len(grad) {
+		panic(fmt.Sprintf("nn: MultiBranch.Backward got %d grads, want %d", len(grad), off))
+	}
+	return gin
+}
+
+// Params returns all branches' parameters.
+func (m *MultiBranch) Params() []*Param {
+	var ps []*Param
+	for _, b := range m.Branches {
+		ps = append(ps, b.Net.Params()...)
+	}
+	return ps
+}
+
+// OutSize implements Layer.
+func (m *MultiBranch) OutSize(in int) int {
+	if in != m.InSize {
+		panic(fmt.Sprintf("nn: MultiBranch.OutSize input %d, layer expects %d", in, m.InSize))
+	}
+	total := 0
+	for _, n := range m.outSizes {
+		total += n
+	}
+	return total
+}
+
+var _ Layer = (*MultiBranch)(nil)

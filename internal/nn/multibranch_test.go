@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMultiBranchForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Input of 10: branch A sees [0,4), branch B sees [0,2)+[4,10) (overlap
+	// on the first two elements, like per-resource nets sharing job slots).
+	m := NewMultiBranch(10,
+		Branch{Ranges: [][2]int{{0, 4}}, Net: NewDense(4, 3, HeInit, rng)},
+		Branch{Ranges: [][2]int{{0, 2}, {4, 10}}, Net: NewDense(8, 5, HeInit, rng)},
+	)
+	if got := m.OutSize(10); got != 8 {
+		t.Fatalf("OutSize = %d, want 8", got)
+	}
+	out := m.Forward(make(Vec, 10))
+	if len(out) != 8 {
+		t.Fatalf("forward len = %d", len(out))
+	}
+}
+
+func TestMultiBranchRejectsBadRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := [][2]int{{-1, 3}, {2, 12}, {5, 5}, {6, 2}}
+	for _, r := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range %v accepted", r)
+				}
+			}()
+			NewMultiBranch(10, Branch{Ranges: [][2]int{r}, Net: NewDense(r[1]-r[0], 2, HeInit, rng)})
+		}()
+	}
+}
+
+func TestMultiBranchGradCheckWithOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMultiBranch(12,
+		Branch{Ranges: [][2]int{{0, 4}, {4, 8}}, Net: NewSequential(8,
+			NewDense(8, 5, HeInit, rng), NewLeakyReLU(0.01), NewDense(5, 3, HeInit, rng))},
+		Branch{Ranges: [][2]int{{0, 4}, {8, 12}}, Net: NewSequential(8,
+			NewDense(8, 5, HeInit, rng), NewLeakyReLU(0.01), NewDense(5, 3, HeInit, rng))},
+	)
+	in := make(Vec, 12)
+	for i := range in {
+		in[i] = rng.NormFloat64() * 0.4
+	}
+	target := Vec{0.1, -0.2, 0.3, 0, 0.2, -0.1}
+	loss := func() float64 {
+		l, _ := MSE(m.Forward(in), target)
+		return l
+	}
+	backward := func() {
+		_, g := MSE(m.Forward(in), target)
+		m.Backward(g)
+	}
+	if worst := GradCheck(m.Params(), loss, backward, 1e-5, 0); worst > 1e-4 {
+		t.Fatalf("MultiBranch gradient check failed: %v", worst)
+	}
+}
+
+func TestMultiBranchInputGradientOverlapAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Two identity-ish branches over the same range: input grads must sum.
+	d1 := NewDense(2, 2, ZeroInit, rng)
+	copy(d1.W.Value, Vec{1, 0, 0, 1})
+	d2 := NewDense(2, 2, ZeroInit, rng)
+	copy(d2.W.Value, Vec{1, 0, 0, 1})
+	m := NewMultiBranch(2,
+		Branch{Ranges: [][2]int{{0, 2}}, Net: d1},
+		Branch{Ranges: [][2]int{{0, 2}}, Net: d2},
+	)
+	m.Forward(Vec{1, 2})
+	gin := m.Backward(Vec{1, 1, 1, 1})
+	if gin[0] != 2 || gin[1] != 2 {
+		t.Fatalf("overlap grads = %v, want [2 2]", gin)
+	}
+}

@@ -1,0 +1,73 @@
+package nn
+
+import "fmt"
+
+// Sequential chains layers, feeding each output into the next layer.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential validates that the layers compose for the given input size
+// and returns the network. inSize <= 0 skips validation (useful when the
+// caller wires sizes dynamically).
+func NewSequential(inSize int, layers ...Layer) *Sequential {
+	if inSize > 0 {
+		n := inSize
+		for i, l := range layers {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panic(fmt.Sprintf("nn: Sequential layer %d rejects input size %d: %v", i, n, r))
+					}
+				}()
+				n = l.OutSize(n)
+			}()
+		}
+	}
+	return &Sequential{Layers: layers}
+}
+
+// Forward runs the input through every layer in order.
+func (s *Sequential) Forward(x Vec) Vec {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates the output gradient through the layers in reverse and
+// returns the gradient with respect to the network input.
+func (s *Sequential) Backward(grad Vec) Vec {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all learnable parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutSize implements Layer, so Sequentials can nest.
+func (s *Sequential) OutSize(in int) int {
+	for _, l := range s.Layers {
+		in = l.OutSize(in)
+	}
+	return in
+}
+
+// NumParams returns the total number of scalar parameters.
+func (s *Sequential) NumParams() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += len(p.Value)
+	}
+	return n
+}
+
+var _ Layer = (*Sequential)(nil)

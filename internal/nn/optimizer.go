@@ -1,0 +1,94 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and zeroes the gradients.
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity map[*Param]Vec
+}
+
+// NewSGD returns an SGD optimizer with learning rate lr and momentum mu
+// (mu = 0 disables momentum).
+func NewSGD(lr, mu float64) *SGD {
+	return &SGD{LR: lr, Momentum: mu, velocity: make(map[*Param]Vec)}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if o.Momentum != 0 {
+			v := o.velocity[p]
+			if v == nil {
+				v = make(Vec, len(p.Value))
+				o.velocity[p] = v
+			}
+			for i := range p.Value {
+				v[i] = o.Momentum*v[i] - o.LR*p.Grad[i]
+				p.Value[i] += v[i]
+			}
+		} else {
+			for i := range p.Value {
+				p.Value[i] -= o.LR * p.Grad[i]
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba), the de-facto default for
+// DFP training in the original implementation.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param]Vec
+}
+
+// NewAdam returns an Adam optimizer; zero-valued hyperparameters take the
+// standard defaults (beta1=0.9, beta2=0.999, eps=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]Vec), v: make(map[*Param]Vec),
+	}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	b1c := 1 - math.Pow(o.Beta1, float64(o.t))
+	b2c := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m := o.m[p]
+		v := o.v[p]
+		if m == nil {
+			m = make(Vec, len(p.Value))
+			v = make(Vec, len(p.Value))
+			o.m[p], o.v[p] = m, v
+		}
+		for i := range p.Value {
+			g := p.Grad[i]
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mh := m[i] / b1c
+			vh := v[i] / b2c
+			p.Value[i] -= o.LR * mh / (math.Sqrt(vh) + o.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ClipGrads rescales every parameter's gradient so its L2 norm does not
+// exceed max. Useful to stabilize early RL training.
+func ClipGrads(params []*Param, max float64) {
+	for _, p := range params {
+		ClipNorm(p.Grad, max)
+	}
+}

@@ -1,0 +1,187 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quadratic builds params for minimizing f(w) = sum (w_i - c_i)^2.
+func quadratic(n int, rng *rand.Rand) (*Param, Vec) {
+	p := NewParam("w", n)
+	c := make(Vec, n)
+	for i := range c {
+		c[i] = rng.NormFloat64()
+		p.Value[i] = rng.NormFloat64() * 3
+	}
+	return p, c
+}
+
+func gradQuadratic(p *Param, c Vec) float64 {
+	var loss float64
+	for i := range p.Value {
+		d := p.Value[i] - c[i]
+		loss += d * d
+		p.Grad[i] += 2 * d
+	}
+	return loss
+}
+
+func TestSGDConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p, c := quadratic(10, rng)
+	opt := NewSGD(0.05, 0)
+	for i := 0; i < 200; i++ {
+		gradQuadratic(p, c)
+		opt.Step([]*Param{p})
+	}
+	if l := gradQuadratic(p, c); l > 1e-6 {
+		t.Fatalf("SGD did not converge: loss %v", l)
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p, c := quadratic(10, rng)
+	opt := NewSGD(0.02, 0.9)
+	for i := 0; i < 300; i++ {
+		gradQuadratic(p, c)
+		opt.Step([]*Param{p})
+	}
+	if l := gradQuadratic(p, c); l > 1e-4 {
+		t.Fatalf("SGD+momentum did not converge: loss %v", l)
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p, c := quadratic(10, rng)
+	opt := NewAdam(0.1)
+	for i := 0; i < 400; i++ {
+		gradQuadratic(p, c)
+		opt.Step([]*Param{p})
+	}
+	if l := gradQuadratic(p, c); l > 1e-4 {
+		t.Fatalf("Adam did not converge: loss %v", l)
+	}
+}
+
+func TestStepZeroesGradients(t *testing.T) {
+	p := NewParam("w", 3)
+	p.Grad[0] = 1
+	NewSGD(0.1, 0).Step([]*Param{p})
+	for _, g := range p.Grad {
+		if g != 0 {
+			t.Fatal("SGD.Step left gradients set")
+		}
+	}
+	p.Grad[1] = 2
+	NewAdam(0.1).Step([]*Param{p})
+	for _, g := range p.Grad {
+		if g != 0 {
+			t.Fatal("Adam.Step left gradients set")
+		}
+	}
+}
+
+func TestClipGrads(t *testing.T) {
+	p := NewParam("w", 2)
+	p.Grad[0], p.Grad[1] = 30, 40
+	ClipGrads([]*Param{p}, 5)
+	if n := L2Norm(p.Grad); math.Abs(n-5) > 1e-12 {
+		t.Fatalf("clipped norm = %v, want 5", n)
+	}
+}
+
+func TestMSE(t *testing.T) {
+	l, g := MSE(Vec{1, 2}, Vec{0, 0})
+	if !almostEq(l, 2.5, 1e-12) {
+		t.Fatalf("MSE = %v, want 2.5", l)
+	}
+	if !almostEq(g[0], 1, 1e-12) || !almostEq(g[1], 2, 1e-12) {
+		t.Fatalf("MSE grad = %v", g)
+	}
+}
+
+func TestMaskedMSE(t *testing.T) {
+	l, g := MaskedMSE(Vec{1, 5, 2}, Vec{0, 0, 0}, []bool{true, false, true})
+	if !almostEq(l, 2.5, 1e-12) {
+		t.Fatalf("MaskedMSE = %v, want 2.5", l)
+	}
+	if g[1] != 0 {
+		t.Fatal("masked position received gradient")
+	}
+	// All-false mask yields zero loss and gradient, not NaN.
+	l, g = MaskedMSE(Vec{1}, Vec{0}, []bool{false})
+	if l != 0 || g[0] != 0 {
+		t.Fatal("all-false mask should be zero loss/grad")
+	}
+}
+
+func TestNLLGrad(t *testing.T) {
+	p := Vec{0.25, 0.75}
+	l, g := NLLGrad(p, 1, 2.0)
+	want := -2 * math.Log(0.75)
+	if !almostEq(l, want, 1e-12) {
+		t.Fatalf("NLL = %v, want %v", l, want)
+	}
+	if !almostEq(g[1], -2/0.75, 1e-12) || g[0] != 0 {
+		t.Fatalf("NLL grad = %v", g)
+	}
+	// Zero probability must not produce Inf.
+	l, _ = NLLGrad(Vec{0, 1}, 0, 1)
+	if math.IsInf(l, 0) || math.IsNaN(l) {
+		t.Fatal("NLLGrad with p=0 must be finite")
+	}
+}
+
+func TestHuber(t *testing.T) {
+	// Inside delta: matches 0.5*d^2.
+	l, g := Huber(Vec{0.5}, Vec{0}, 1)
+	if !almostEq(l, 0.125, 1e-12) || !almostEq(g[0], 0.5, 1e-12) {
+		t.Fatalf("Huber inside = %v grad %v", l, g)
+	}
+	// Outside delta: linear region.
+	l, g = Huber(Vec{3}, Vec{0}, 1)
+	if !almostEq(l, 2.5, 1e-12) || !almostEq(g[0], 1, 1e-12) {
+		t.Fatalf("Huber outside = %v grad %v", l, g)
+	}
+}
+
+func TestSaveLoadWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := NewSequential(4, NewDense(4, 3, HeInit, rng), NewLeakyReLU(0.01), NewDense(3, 2, HeInit, rng))
+	in := Vec{0.1, 0.2, 0.3, 0.4}
+	want := net.Forward(in)
+
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, net.Params()); err != nil {
+		t.Fatal(err)
+	}
+
+	rng2 := rand.New(rand.NewSource(1234))
+	net2 := NewSequential(4, NewDense(4, 3, HeInit, rng2), NewLeakyReLU(0.01), NewDense(3, 2, HeInit, rng2))
+	if err := LoadWeights(&buf, net2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	got := net2.Forward(in)
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-15) {
+			t.Fatalf("restored output %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLoadWeightsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := NewSequential(4, NewDense(4, 3, HeInit, rng))
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, net.Params()); err != nil {
+		t.Fatal(err)
+	}
+	other := NewSequential(5, NewDense(5, 3, HeInit, rng))
+	if err := LoadWeights(&buf, other.Params()); err == nil {
+		t.Fatal("expected error loading mismatched architecture")
+	}
+}

@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a dense float64 vector. It is the currency of this package: layer
+// inputs, outputs, and gradients are all Vecs.
+type Vec = []float64
+
+// Zeros returns a vector of n zeros.
+func Zeros(n int) Vec { return make(Vec, n) }
+
+// Copy returns a fresh copy of v.
+func Copy(v Vec) Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Fill sets every element of v to x.
+func Fill(v Vec, x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Dot returns the inner product of a and b. It panics if lengths differ.
+func Dot(a, b Vec) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("nn: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Add returns a+b as a new vector.
+func Add(a, b Vec) Vec {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("nn: Add length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make(Vec, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// AddTo accumulates src into dst in place.
+func AddTo(dst, src Vec) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("nn: AddTo length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i := range src {
+		dst[i] += src[i]
+	}
+}
+
+// Scale multiplies every element of v by s in place.
+func Scale(v Vec, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Scaled returns s*v as a new vector.
+func Scaled(v Vec, s float64) Vec {
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] * s
+	}
+	return out
+}
+
+// Concat concatenates vectors into one new vector.
+func Concat(vs ...Vec) Vec {
+	n := 0
+	for _, v := range vs {
+		n += len(v)
+	}
+	out := make(Vec, 0, n)
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}
+
+// ArgMax returns the index of the largest element, or -1 for an empty vector.
+func ArgMax(v Vec) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Mean returns the arithmetic mean of v (0 for an empty vector).
+func Mean(v Vec) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Softmax returns the softmax distribution of v, computed stably.
+func Softmax(v Vec) Vec {
+	if len(v) == 0 {
+		return nil
+	}
+	max := v[0]
+	for _, x := range v[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	out := make(Vec, len(v))
+	var sum float64
+	for i, x := range v {
+		e := math.Exp(x - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// L2Norm returns the Euclidean norm of v.
+func L2Norm(v Vec) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// ClipNorm rescales v in place so its L2 norm does not exceed max.
+// It returns the norm before clipping.
+func ClipNorm(v Vec, max float64) float64 {
+	n := L2Norm(v)
+	if n > max && n > 0 {
+		Scale(v, max/n)
+	}
+	return n
+}
+
+// IsFinite reports whether every element of v is finite (no NaN or Inf).
+func IsFinite(v Vec) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

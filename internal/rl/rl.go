@@ -1,0 +1,248 @@
+// Package rl implements the paper's "Scalar RL" comparison method (§IV-D):
+// a policy-gradient (REINFORCE) agent that collapses the multi-resource
+// objective into one scalar reward with fixed weights — 0.5*CPU utilization
+// + 0.5*burst-buffer utilization for two resources, 1/R each in general.
+// It observes the same vector state encoding as MRSch and schedules through
+// the same window/reservation/backfilling framework, so the only difference
+// the experiments measure is fixed versus dynamic resource prioritizing.
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/encode"
+	"repro/internal/nn"
+	"repro/internal/sched"
+)
+
+// Config tunes the policy-gradient agent.
+type Config struct {
+	// Window is W (default 10).
+	Window int
+	// Hidden are the policy network's hidden-layer widths.
+	Hidden []int
+	// Weights are the fixed per-resource reward weights; nil means uniform
+	// 1/R (the paper's 0.5/0.5 for two resources).
+	Weights []float64
+	// LR is the Adam learning rate; Gamma the discount factor.
+	LR, Gamma float64
+	// GradClip caps per-parameter gradient norms (0 disables).
+	GradClip float64
+	// Seed fixes stochastic behaviour.
+	Seed int64
+}
+
+// DefaultConfig returns the experiment-scale settings.
+func DefaultConfig() Config {
+	return Config{Window: 10, Hidden: []int{64, 32}, LR: 1e-3, Gamma: 0.99, GradClip: 5, Seed: 1}
+}
+
+type step struct {
+	state  []float64
+	action int
+	valid  int
+	reward float64
+}
+
+// Scheduler is the scalar-reward policy-gradient picker.
+type Scheduler struct {
+	cfg Config
+	enc encode.Config
+	net *nn.Sequential // state -> logits -> softmax probabilities
+
+	// Train enables stochastic action sampling and episode recording.
+	Train bool
+
+	rng     *rand.Rand
+	opt     *nn.Adam
+	episode []step
+}
+
+// New builds a scalar-RL scheduler for the given system.
+func New(sys cluster.Config, cfg Config) *Scheduler {
+	if cfg.Window <= 0 {
+		cfg.Window = 10
+	}
+	if cfg.Gamma <= 0 || cfg.Gamma > 1 {
+		cfg.Gamma = 0.99
+	}
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = []int{64, 32}
+	}
+	enc := encode.NewConfig(cfg.Window, sys.Capacities)
+	r := enc.Resources()
+	if cfg.Weights == nil {
+		cfg.Weights = make([]float64, r)
+		for i := range cfg.Weights {
+			cfg.Weights[i] = 1 / float64(r)
+		}
+	}
+	if len(cfg.Weights) != r {
+		panic(fmt.Sprintf("rl: %d reward weights for %d resources", len(cfg.Weights), r))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	layers := []nn.Layer{}
+	in := enc.StateDim()
+	for _, h := range cfg.Hidden {
+		layers = append(layers, nn.NewDense(in, h, nn.HeInit, rng), nn.NewLeakyReLU(0.01))
+		in = h
+	}
+	layers = append(layers, nn.NewDense(in, cfg.Window, nn.XavierInit, rng), nn.NewSoftmax())
+	return &Scheduler{
+		cfg: cfg,
+		enc: enc,
+		net: nn.NewSequential(enc.StateDim(), layers...),
+		rng: rng,
+		opt: nn.NewAdam(cfg.LR),
+	}
+}
+
+var _ sched.Picker = (*Scheduler)(nil)
+
+// Policy wraps the agent in the shared scheduling framework.
+func (s *Scheduler) Policy() *sched.WindowPolicy {
+	return sched.NewWindowPolicy(s, s.cfg.Window)
+}
+
+// Pick implements sched.Picker. The scalar reward recorded for the step is
+// the fixed-weight utilization the system would reach after the action — the
+// immediate effect of the selection under the static priorities.
+func (s *Scheduler) Pick(ctx *sched.PickContext) int {
+	state := s.enc.Encode(ctx)
+	probs := s.net.Forward(state)
+	valid := len(ctx.Window)
+	if valid > s.cfg.Window {
+		valid = s.cfg.Window
+	}
+	var action int
+	if s.Train {
+		action = samplePrefix(probs, valid, s.rng)
+	} else {
+		action = nn.ArgMax(probs[:valid])
+	}
+	if s.Train {
+		s.episode = append(s.episode, step{
+			state:  state,
+			action: action,
+			valid:  valid,
+			reward: s.reward(ctx, action),
+		})
+	}
+	return action
+}
+
+// reward is the fixed-weight scalar: sum_r w_r * util_r after hypothetically
+// starting the chosen job (if it fits).
+func (s *Scheduler) reward(ctx *sched.PickContext, action int) float64 {
+	cl := ctx.Cluster
+	j := ctx.Window[action]
+	fits := cl.CanFit(j.Demand)
+	total := 0.0
+	for r := 0; r < cl.NumResources(); r++ {
+		used := cl.Used(r)
+		if fits {
+			used += j.Demand[r]
+		}
+		total += s.cfg.Weights[r] * float64(used) / float64(cl.Capacity(r))
+	}
+	return total
+}
+
+// samplePrefix draws an index from probs[:valid] renormalized.
+func samplePrefix(probs []float64, valid int, rng *rand.Rand) int {
+	var sum float64
+	for _, p := range probs[:valid] {
+		sum += p
+	}
+	if sum <= 0 {
+		return rng.Intn(valid)
+	}
+	x := rng.Float64() * sum
+	for i, p := range probs[:valid] {
+		x -= p
+		if x <= 0 {
+			return i
+		}
+	}
+	return valid - 1
+}
+
+// EndEpisode applies one REINFORCE update over the recorded episode and
+// clears it. It returns the mean policy loss (0 for an empty episode).
+func (s *Scheduler) EndEpisode() float64 {
+	steps := s.episode
+	s.episode = nil
+	n := len(steps)
+	if n == 0 {
+		return 0
+	}
+	// Discounted returns.
+	returns := make([]float64, n)
+	g := 0.0
+	for t := n - 1; t >= 0; t-- {
+		g = steps[t].reward + s.cfg.Gamma*g
+		returns[t] = g
+	}
+	// Standardized advantages (mean-zero baseline).
+	mean := 0.0
+	for _, r := range returns {
+		mean += r
+	}
+	mean /= float64(n)
+	variance := 0.0
+	for _, r := range returns {
+		d := r - mean
+		variance += d * d
+	}
+	std := math.Sqrt(variance / float64(n))
+	if std < 1e-8 {
+		std = 1
+	}
+
+	totalLoss := 0.0
+	for t, st := range steps {
+		adv := (returns[t] - mean) / std
+		probs := s.net.Forward(st.state)
+		loss, grad := prefixNLLGrad(probs, st.action, st.valid, adv)
+		totalLoss += loss
+		s.net.Backward(grad)
+	}
+	params := s.net.Params()
+	for _, p := range params {
+		nn.Scale(p.Grad, 1/float64(n))
+	}
+	if s.cfg.GradClip > 0 {
+		nn.ClipGrads(params, s.cfg.GradClip)
+	}
+	s.opt.Step(params)
+	return totalLoss / float64(n)
+}
+
+// prefixNLLGrad computes L = -adv * log(p_a / S) with S = sum(probs[:valid])
+// and its gradient with respect to the probability vector. Restricting to
+// the valid prefix keeps the policy correct when the queue is shorter than
+// the window.
+func prefixNLLGrad(probs []float64, action, valid int, adv float64) (float64, []float64) {
+	const floor = 1e-12
+	var sum float64
+	for _, p := range probs[:valid] {
+		sum += p
+	}
+	if sum < floor {
+		sum = floor
+	}
+	pa := probs[action]
+	if pa < floor {
+		pa = floor
+	}
+	loss := -adv * math.Log(pa/sum)
+	grad := make([]float64, len(probs))
+	for i := 0; i < valid; i++ {
+		grad[i] = adv / sum
+	}
+	grad[action] -= adv / pa
+	return loss, grad
+}

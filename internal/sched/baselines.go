@@ -1,0 +1,82 @@
+package sched
+
+// Additional list-scheduling pickers from the related work (§II-A), provided
+// for context experiments beyond the paper's three baselines. Both operate
+// within the same window/reservation/backfilling framework, so they satisfy
+// the HPC starvation-avoidance requirements the paper insists on — unlike
+// their data-center originals.
+
+// Tetris scores each window job by the alignment of its demand vector with
+// the currently free resources (the multi-dimensional packing heuristic of
+// Grandl et al., SIGCOMM 2014, adapted to rigid HPC jobs): pick the fitting
+// job whose normalized demand has the largest dot product with the
+// normalized free vector. Falls back to the queue head when nothing fits.
+type Tetris struct{}
+
+// Pick implements Picker.
+func (Tetris) Pick(ctx *PickContext) int {
+	cl := ctx.Cluster
+	best, bestScore := -1, -1.0
+	for i, j := range ctx.Window {
+		if !cl.CanFit(j.Demand) {
+			continue
+		}
+		score := 0.0
+		for r, d := range j.Demand {
+			cap := float64(cl.Capacity(r))
+			score += (float64(d) / cap) * (float64(cl.Free(r)) / cap)
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return 0
+}
+
+// SJF picks the fitting window job with the shortest user-supplied walltime
+// estimate — classic shortest-job-first list scheduling, a strong
+// slowdown-oriented heuristic. Falls back to the queue head when nothing
+// fits (preserving FCFS reservation semantics so large jobs cannot starve).
+type SJF struct{}
+
+// Pick implements Picker.
+func (SJF) Pick(ctx *PickContext) int {
+	best, bestWall := -1, 0.0
+	for i, j := range ctx.Window {
+		if !ctx.Cluster.CanFit(j.Demand) {
+			continue
+		}
+		if best < 0 || j.Walltime < bestWall {
+			best, bestWall = i, j.Walltime
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return 0
+}
+
+// LargestFirst picks the fitting job with the largest primary-resource
+// demand — a utilization-oriented greedy that pairs naturally with
+// backfilling (big blocks first, small jobs fill the gaps).
+type LargestFirst struct{}
+
+// Pick implements Picker.
+func (LargestFirst) Pick(ctx *PickContext) int {
+	best, bestNodes := -1, -1
+	for i, j := range ctx.Window {
+		if !ctx.Cluster.CanFit(j.Demand) {
+			continue
+		}
+		if j.Demand[0] > bestNodes {
+			best, bestNodes = i, j.Demand[0]
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return 0
+}

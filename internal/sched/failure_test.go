@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// Failure-injection tests: the framework must stay correct when user
+// estimates are wrong or the workload is adversarial.
+
+func TestUnderestimatedWalltimesStillComplete(t *testing.T) {
+	// Users sometimes underestimate runtimes; planning data (EstEnd,
+	// shadow times) is then wrong, but the simulation must stay sound and
+	// every job must still run.
+	rng := rand.New(rand.NewSource(77))
+	var jobs []*job.Job
+	clk := 0.0
+	for i := 1; i <= 60; i++ {
+		clk += float64(rng.Intn(30))
+		runtime := float64(rng.Intn(400) + 10)
+		wall := runtime
+		if rng.Float64() < 0.4 {
+			wall = runtime / 2 // severe underestimate
+		}
+		if wall < 1 {
+			wall = 1
+		}
+		jobs = append(jobs, &job.Job{
+			ID: i, Submit: clk, Runtime: runtime, Walltime: wall,
+			Demand: []int{rng.Intn(16) + 1, rng.Intn(9)},
+		})
+	}
+	s := sim.New(cfg(), NewWindowPolicy(FCFS{}, 10))
+	if err := s.Load(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.State != job.Finished {
+			t.Fatalf("job %d unfinished under walltime underestimates", j.ID)
+		}
+	}
+	if err := s.Cluster().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdversarialPickerCannotCorruptState(t *testing.T) {
+	// A picker that returns garbage indices (negative, huge, random) must
+	// degrade to FCFS behaviour, never panic or starve.
+	rng := rand.New(rand.NewSource(88))
+	adversary := PickerFunc(func(ctx *PickContext) int {
+		switch rng.Intn(3) {
+		case 0:
+			return -5
+		case 1:
+			return len(ctx.Window) + 100
+		default:
+			return rng.Intn(len(ctx.Window))
+		}
+	})
+	var jobs []*job.Job
+	clk := 0.0
+	for i := 1; i <= 50; i++ {
+		clk += float64(rng.Intn(30))
+		jobs = append(jobs, mk(i, clk, float64(rng.Intn(200)+1), rng.Intn(16)+1, rng.Intn(9)))
+	}
+	s := sim.New(cfg(), NewWindowPolicy(adversary, 10))
+	if err := s.Load(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.State != job.Finished {
+			t.Fatalf("job %d starved under adversarial picker", j.ID)
+		}
+	}
+}
+
+func TestZeroSecondaryDemandJobs(t *testing.T) {
+	// CPU-only jobs (zero burst buffer) must flow through multi-resource
+	// scheduling untouched — the base trace before the Table III transform.
+	var jobs []*job.Job
+	for i := 1; i <= 20; i++ {
+		jobs = append(jobs, mk(i, float64(i), 50, 4, 0))
+	}
+	s := sim.New(cfg(), NewWindowPolicy(Tetris{}, 10))
+	if err := s.Load(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Utilization(1) != 0 {
+		t.Fatalf("bb utilization %v for a CPU-only workload", s.Utilization(1))
+	}
+}
+
+func TestSimultaneousArrivalBurst(t *testing.T) {
+	// 100 jobs at t=0 (a flash crowd): the scheduler must drain them all
+	// and keep FIFO fairness among equals under FCFS.
+	var jobs []*job.Job
+	for i := 1; i <= 100; i++ {
+		jobs = append(jobs, mk(i, 0, 30, 8, 2))
+	}
+	s := sim.New(cfg(), NewWindowPolicy(FCFS{}, 10))
+	if err := s.Load(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 16 nodes / 8 per job = 2 concurrent; FCFS must start them in ID order.
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Start < jobs[i-1].Start {
+			t.Fatalf("FCFS order violated: job %d before job %d", jobs[i].ID, jobs[i-1].ID)
+		}
+	}
+}
+
+func TestFullMachineJob(t *testing.T) {
+	// A job demanding every unit of every resource must run (alone).
+	jobs := []*job.Job{
+		mk(1, 0, 100, 10, 3),
+		mk(2, 1, 100, 16, 8), // whole machine
+		mk(3, 2, 100, 1, 1),
+	}
+	s := sim.New(cfg(), NewWindowPolicy(FCFS{}, 10))
+	if err := s.Load(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	big := jobs[1]
+	if big.State != job.Finished {
+		t.Fatal("full-machine job never ran")
+	}
+	// While it ran, nothing else could overlap.
+	for _, other := range []*job.Job{jobs[0], jobs[2]} {
+		overlap := other.Start < big.End && big.Start < other.End
+		if overlap {
+			t.Fatalf("job %d overlapped the full-machine job", other.ID)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package sched implements the HPC scheduling framework shared by every
+// method the paper compares: the window over the front of the waiting queue,
+// advance reservation of the first unplaceable selection, and EASY
+// backfilling (§II-A and §III-C). Individual scheduling methods plug in as
+// Pickers: FCFS (this package), the genetic-algorithm optimizer
+// (internal/ga), the scalar-reward policy gradient (internal/rl), and MRSch
+// itself (internal/core).
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// PickContext is the information available to a scheduling method at one
+// decision instant: the window of candidate jobs, the whole queue, the live
+// cluster, and the instantaneous measurement vector.
+type PickContext struct {
+	Now     float64
+	Window  []*job.Job
+	Queue   []*job.Job
+	Cluster *cluster.Cluster
+	Usage   []float64 // used fraction per resource (the measurement vector)
+}
+
+// Picker selects which window job to schedule next, returning an index into
+// ctx.Window. Out-of-range returns are treated as 0 (head of queue), which
+// makes FCFS the universal fallback.
+type Picker interface {
+	Pick(ctx *PickContext) int
+}
+
+// PickerFunc adapts a function to the Picker interface.
+type PickerFunc func(ctx *PickContext) int
+
+// Pick implements Picker.
+func (f PickerFunc) Pick(ctx *PickContext) int { return f(ctx) }
+
+// FCFS picks the oldest waiting job — the paper's Heuristic baseline, the
+// multi-resource extension of first-come-first-serve list scheduling.
+type FCFS struct{}
+
+// Pick implements Picker.
+func (FCFS) Pick(*PickContext) int { return 0 }
+
+// WindowPolicy is the shared scheduling driver (§III-C). At every scheduling
+// instance it repeatedly asks the Picker for a job from the window at the
+// front of the queue: jobs that fit start immediately; the first selection
+// that does not fit is reserved (its resources held via the shadow-time
+// computation) and the remaining queue is EASY-backfilled around the
+// reservation. A window size of 10 matches the paper's experiments.
+type WindowPolicy struct {
+	Picker   Picker
+	W        int
+	Backfill bool
+
+	// OnDecision, when set, observes every pick (training and analysis hook:
+	// the RL methods record trajectories with it, Figures 8/9 sample the
+	// goal vector with it).
+	OnDecision func(ctx *PickContext, pick int)
+}
+
+// NewWindowPolicy builds a policy with EASY backfilling enabled.
+func NewWindowPolicy(p Picker, w int) *WindowPolicy {
+	if w <= 0 {
+		w = 10
+	}
+	return &WindowPolicy{Picker: p, W: w, Backfill: true}
+}
+
+// OnSchedule implements sim.Policy.
+func (wp *WindowPolicy) OnSchedule(s *sim.Simulator) {
+	for {
+		queue := s.Queue()
+		if len(queue) == 0 {
+			s.Reserved = nil
+			return
+		}
+		w := wp.W
+		if w > len(queue) {
+			w = len(queue)
+		}
+		window := queue[:w]
+		ctx := &PickContext{
+			Now:     s.Now(),
+			Window:  window,
+			Queue:   queue,
+			Cluster: s.Cluster(),
+			Usage:   s.Cluster().Usage(),
+		}
+		idx := wp.Picker.Pick(ctx)
+		if idx < 0 || idx >= w {
+			idx = 0
+		}
+		if wp.OnDecision != nil {
+			wp.OnDecision(ctx, idx)
+		}
+		j := window[idx]
+		if s.Cluster().CanFit(j.Demand) {
+			if err := s.StartJob(j); err != nil {
+				// CanFit held, so failure indicates a framework bug.
+				panic(fmt.Sprintf("sched: start after CanFit: %v", err))
+			}
+			continue
+		}
+		// The selected job cannot start: reserve it and backfill around it.
+		s.Reserved = j
+		if wp.Backfill {
+			easyBackfill(s, j)
+		}
+		return
+	}
+}
+
+// easyBackfill implements multi-resource EASY backfilling: queued jobs may
+// jump ahead of the reserved job only if they do not delay it — either they
+// finish (by walltime estimate) before the reservation's shadow time, or
+// they fit entirely within the resources left over at the shadow time.
+func easyBackfill(s *sim.Simulator, reserved *job.Job) {
+	cl := s.Cluster()
+	now := s.Now()
+	shadow, freeAtShadow := cl.EarliestFit(reserved.Demand, now)
+	if shadow < 0 {
+		return
+	}
+	extra := make([]int, len(freeAtShadow))
+	for r := range extra {
+		extra[r] = freeAtShadow[r] - reserved.Demand[r]
+	}
+	// Snapshot the queue: StartJob mutates it while we iterate.
+	candidates := make([]*job.Job, 0, len(s.Queue()))
+	for _, c := range s.Queue() {
+		if c != reserved {
+			candidates = append(candidates, c)
+		}
+	}
+	for _, cand := range candidates {
+		if !cl.CanFit(cand.Demand) {
+			continue
+		}
+		endsBeforeShadow := now+cand.Walltime <= shadow
+		fitsExtra := true
+		for r, d := range cand.Demand {
+			if d > extra[r] {
+				fitsExtra = false
+				break
+			}
+		}
+		if !endsBeforeShadow && !fitsExtra {
+			continue
+		}
+		if err := s.StartJob(cand); err != nil {
+			panic(fmt.Sprintf("sched: backfill start: %v", err))
+		}
+		if !endsBeforeShadow {
+			// The job borrows shadow-time capacity; charge it against the
+			// reservation's leftovers so later candidates cannot overdraw.
+			for r, d := range cand.Demand {
+				extra[r] -= d
+			}
+		}
+	}
+}
+
+// Shadow exposes the reservation shadow-time computation for tests and
+// analysis: the earliest start for demand and the spare capacity vector
+// after the reserved job claims its share at that time.
+func Shadow(cl *cluster.Cluster, demand []int, now float64) (shadow float64, extra []int) {
+	shadow, freeAtShadow := cl.EarliestFit(demand, now)
+	if shadow < 0 {
+		return -1, nil
+	}
+	extra = make([]int, len(freeAtShadow))
+	for r := range extra {
+		extra[r] = freeAtShadow[r] - demand[r]
+	}
+	return shadow, extra
+}

@@ -1,0 +1,263 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+func cfg() cluster.Config {
+	return cluster.Config{Name: "t", Resources: []string{"nodes", "bb"}, Capacities: []int{16, 8}}
+}
+
+func mk(id int, submit, runtime float64, nodes, bb int) *job.Job {
+	return &job.Job{ID: id, Submit: submit, Runtime: runtime, Walltime: runtime, Demand: []int{nodes, bb}}
+}
+
+func runFCFS(t *testing.T, jobs []*job.Job, backfill bool) *sim.Simulator {
+	t.Helper()
+	p := NewWindowPolicy(FCFS{}, 10)
+	p.Backfill = backfill
+	s := sim.New(cfg(), p)
+	if err := s.Load(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFCFSOrder(t *testing.T) {
+	jobs := []*job.Job{
+		mk(1, 0, 100, 8, 0),
+		mk(2, 1, 100, 8, 0),
+		mk(3, 2, 100, 8, 0),
+	}
+	runFCFS(t, jobs, true)
+	if jobs[0].Start != 0 || jobs[1].Start != 1 {
+		t.Fatalf("starts: %v %v", jobs[0].Start, jobs[1].Start)
+	}
+	// Job 3 needs 8 nodes; 16 are busy until t=100.
+	if jobs[2].Start != 100 {
+		t.Fatalf("job 3 start = %v, want 100", jobs[2].Start)
+	}
+}
+
+func TestBackfillShortJobSkipsAhead(t *testing.T) {
+	// Head job 2 is blocked until t=100; job 3 is short and small enough to
+	// finish before the shadow time, so EASY lets it start immediately.
+	jobs := []*job.Job{
+		mk(1, 0, 100, 12, 0),
+		mk(2, 1, 50, 12, 0), // reserved; shadow = 100
+		mk(3, 2, 50, 4, 0),  // ends at 52 <= 100: backfills
+	}
+	runFCFS(t, jobs, true)
+	if jobs[2].Start != 2 {
+		t.Fatalf("backfill start = %v, want 2", jobs[2].Start)
+	}
+	if jobs[1].Start != 100 {
+		t.Fatalf("reserved job start = %v, want 100", jobs[1].Start)
+	}
+}
+
+func TestBackfillNeverDelaysReservedJob(t *testing.T) {
+	// Job 3 runs for 200s and would overlap the shadow time while using the
+	// nodes the reserved job needs; EASY must hold it back.
+	jobs := []*job.Job{
+		mk(1, 0, 100, 12, 0),
+		mk(2, 1, 50, 12, 0), // reserved; shadow = 100, extra = 16-12=4 nodes
+		mk(3, 2, 200, 4, 0), // fits extra: may start (4 <= 4)
+		mk(4, 3, 200, 2, 0), // extra exhausted: must NOT start before 51
+	}
+	runFCFS(t, jobs, true)
+	if jobs[1].Start != 100 {
+		t.Fatalf("reserved start = %v, want 100 (delayed by backfill?)", jobs[1].Start)
+	}
+	if jobs[2].Start != 2 {
+		t.Fatalf("job 3 should backfill into extra capacity, start = %v", jobs[2].Start)
+	}
+	if jobs[3].Start < 100 {
+		t.Fatalf("job 4 backfilled illegally at %v", jobs[3].Start)
+	}
+}
+
+func TestNoBackfillLeavesHole(t *testing.T) {
+	jobs := []*job.Job{
+		mk(1, 0, 100, 12, 0),
+		mk(2, 1, 50, 12, 0),
+		mk(3, 2, 50, 4, 0),
+	}
+	runFCFS(t, jobs, false)
+	if jobs[2].Start == 2 {
+		t.Fatal("job 3 started early despite backfill disabled")
+	}
+}
+
+func TestMultiResourceBackfillRespectsSecondResource(t *testing.T) {
+	// Candidate fits the node extra but would steal burst buffer needed by
+	// the reserved job at shadow time.
+	jobs := []*job.Job{
+		mk(1, 0, 100, 12, 6),
+		mk(2, 1, 50, 4, 8),  // reserved: needs all BB; shadow=100; extra BB = 8-8 = 0
+		mk(3, 2, 200, 2, 1), // long, needs 1 BB > extra 0: must wait
+	}
+	runFCFS(t, jobs, true)
+	if jobs[1].Start != 100 {
+		t.Fatalf("reserved start = %v, want 100", jobs[1].Start)
+	}
+	if jobs[2].Start < 51 {
+		t.Fatalf("job 3 must not backfill, started %v", jobs[2].Start)
+	}
+}
+
+func TestStarvationPrevention(t *testing.T) {
+	// A full-machine job arrives at t=1 followed by a stream of small jobs.
+	// Without reservation it starves; with it, it must start by the time the
+	// initial allocation drains.
+	jobs := []*job.Job{mk(1, 0, 50, 8, 0), mk(2, 1, 100, 16, 8)}
+	id := 3
+	for tt := 2.0; tt < 200; tt += 5 {
+		jobs = append(jobs, mk(id, tt, 30, 2, 1))
+		id++
+	}
+	runFCFS(t, jobs, true)
+	big := jobs[1]
+	if big.Start != 50 {
+		t.Fatalf("big job starved: start = %v, want 50", big.Start)
+	}
+}
+
+func TestPickerOutOfRangeFallsBackToHead(t *testing.T) {
+	bad := PickerFunc(func(ctx *PickContext) int { return 99 })
+	p := NewWindowPolicy(bad, 5)
+	s := sim.New(cfg(), p)
+	jobs := []*job.Job{mk(1, 0, 10, 4, 0)}
+	if err := s.Load(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].State != job.Finished {
+		t.Fatal("job not run under fallback")
+	}
+}
+
+func TestOnDecisionObservesPicks(t *testing.T) {
+	picks := 0
+	p := NewWindowPolicy(FCFS{}, 10)
+	p.OnDecision = func(ctx *PickContext, pick int) {
+		picks++
+		if pick != 0 {
+			t.Errorf("FCFS picked %d", pick)
+		}
+		if len(ctx.Usage) != 2 {
+			t.Errorf("usage arity %d", len(ctx.Usage))
+		}
+	}
+	s := sim.New(cfg(), p)
+	jobs := []*job.Job{mk(1, 0, 10, 4, 0), mk(2, 0, 10, 4, 0)}
+	if err := s.Load(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if picks == 0 {
+		t.Fatal("OnDecision never called")
+	}
+}
+
+func TestWindowBoundsSelection(t *testing.T) {
+	// A picker that always chooses the last window slot must never see more
+	// than W jobs.
+	maxSeen := 0
+	p := NewWindowPolicy(PickerFunc(func(ctx *PickContext) int {
+		if len(ctx.Window) > maxSeen {
+			maxSeen = len(ctx.Window)
+		}
+		return len(ctx.Window) - 1
+	}), 3)
+	s := sim.New(cfg(), p)
+	var jobs []*job.Job
+	for i := 1; i <= 8; i++ {
+		jobs = append(jobs, mk(i, 0, 10, 2, 0))
+	}
+	if err := s.Load(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxSeen > 3 {
+		t.Fatalf("window exposed %d jobs, max 3", maxSeen)
+	}
+}
+
+// Property-style test: for random workloads, (a) every job finishes,
+// (b) the reserved job at any decision instant is never delayed past the
+// shadow time computed at reservation (walltime==runtime in this test, so
+// shadow times are exact upper bounds).
+func TestEASYInvariantRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var jobs []*job.Job
+		clk := 0.0
+		for i := 1; i <= 60; i++ {
+			clk += float64(rng.Intn(30))
+			jobs = append(jobs, mk(i, clk, float64(rng.Intn(300)+1), rng.Intn(16)+1, rng.Intn(9)))
+		}
+		reservations := map[int]float64{} // job ID -> earliest shadow recorded
+		p := NewWindowPolicy(FCFS{}, 10)
+		s := sim.New(cfg(), p)
+		p.OnDecision = func(ctx *PickContext, pick int) {
+			j := ctx.Window[pick]
+			if !ctx.Cluster.CanFit(j.Demand) {
+				sh, _ := Shadow(ctx.Cluster, j.Demand, ctx.Now)
+				if _, seen := reservations[j.ID]; !seen {
+					reservations[j.ID] = sh
+				} else if sh < reservations[j.ID] {
+					reservations[j.ID] = sh // shadow can only improve as jobs end early
+				}
+			}
+		}
+		if err := s.Load(jobs); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, j := range jobs {
+			if j.State != job.Finished {
+				t.Fatalf("seed %d: job %d never finished", seed, j.ID)
+			}
+		}
+		for id, shadow := range reservations {
+			for _, j := range jobs {
+				if j.ID == id && j.Start > shadow+1e-9 {
+					t.Fatalf("seed %d: reserved job %d started %v after shadow %v", seed, id, j.Start, shadow)
+				}
+			}
+		}
+	}
+}
+
+func TestBackfillImprovesUtilization(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var jobs []*job.Job
+	clk := 0.0
+	for i := 1; i <= 80; i++ {
+		clk += float64(rng.Intn(20))
+		jobs = append(jobs, mk(i, clk, float64(rng.Intn(400)+10), rng.Intn(14)+1, rng.Intn(8)))
+	}
+	withBF := runFCFS(t, job.CloneAll(jobs), true)
+	withoutBF := runFCFS(t, job.CloneAll(jobs), false)
+	if withBF.Utilization(0) < withoutBF.Utilization(0)-1e-9 {
+		t.Fatalf("backfill reduced node utilization: %v vs %v",
+			withBF.Utilization(0), withoutBF.Utilization(0))
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+import "container/heap"
+
+// eventKind distinguishes the two triggers the paper names (§IV): a new job
+// entering the queue and a running job leaving the system.
+type eventKind int
+
+const (
+	evSubmit eventKind = iota
+	evFinish
+)
+
+type event struct {
+	time  float64
+	kind  eventKind
+	jobID int
+	seq   int // tie-breaker preserving insertion order at equal times
+}
+
+// eventQueue is a min-heap on (time, kind, seq): finishes apply before
+// submits at the same instant so freed resources are visible to the arriving
+// job's scheduling round.
+type eventQueue struct {
+	items []event
+	next  int
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.kind != b.kind {
+		return a.kind == evFinish
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(event)) }
+
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+func (q *eventQueue) push(t float64, k eventKind, jobID int) {
+	heap.Push(q, event{time: t, kind: k, jobID: jobID, seq: q.next})
+	q.next++
+}
+
+func (q *eventQueue) pop() event { return heap.Pop(q).(event) }
+
+func (q *eventQueue) peek() (event, bool) {
+	if len(q.items) == 0 {
+		return event{}, false
+	}
+	return q.items[0], true
+}

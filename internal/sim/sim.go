@@ -1,0 +1,236 @@
+// Package sim is the reproduction of CQSim: a trace-based, event-driven HPC
+// job-scheduling simulator (§IV of the paper). It imports jobs from a trace,
+// advances a simulation clock on job-arrival and job-completion events, and
+// on every queue/system change hands control to a scheduling Policy, exactly
+// as CQSim sends scheduling requests to the MRSch agent.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+)
+
+// Policy is a scheduling strategy. OnSchedule is invoked by the simulator
+// whenever the waiting queue or the system state changes (job submitted or
+// finished); the policy examines the simulator and starts jobs via StartJob.
+type Policy interface {
+	OnSchedule(s *Simulator)
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc func(s *Simulator)
+
+// OnSchedule implements Policy.
+func (f PolicyFunc) OnSchedule(s *Simulator) { f(s) }
+
+// Simulator replays a job trace against a cluster under a Policy.
+type Simulator struct {
+	clk      float64
+	clock0   float64 // time of the first event (metrics window start)
+	started  bool
+	cl       *cluster.Cluster
+	events   eventQueue
+	queue    []*job.Job // waiting jobs in arrival order
+	byID     map[int]*job.Job
+	finished []*job.Job
+	policy   Policy
+
+	// Reserved is the job currently holding an advance reservation, if any.
+	// It is set by the scheduling framework (internal/sched) and cleared
+	// when the job starts; the simulator itself only reports it.
+	Reserved *job.Job
+
+	acct accounting
+
+	// Decisions counts policy invocations; DecisionHook, when non-nil, runs
+	// after every scheduling round (used to sample r_BB for Figures 8/9 and
+	// utilization traces without touching scheduler internals).
+	Decisions    int
+	DecisionHook func(s *Simulator)
+
+	maxEvents int
+}
+
+// New builds a simulator over a fresh cluster with the given policy.
+func New(cfg cluster.Config, p Policy) *Simulator {
+	return &Simulator{
+		cl:        cluster.New(cfg),
+		byID:      make(map[int]*job.Job),
+		policy:    p,
+		maxEvents: 0,
+	}
+}
+
+// Cluster exposes the simulated system.
+func (s *Simulator) Cluster() *cluster.Cluster { return s.cl }
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() float64 { return s.clk }
+
+// Queue returns the waiting jobs in arrival order. Callers must not mutate
+// the returned slice.
+func (s *Simulator) Queue() []*job.Job { return s.queue }
+
+// Finished returns all completed jobs.
+func (s *Simulator) Finished() []*job.Job { return s.finished }
+
+// Load validates and registers jobs, pushing their submit events. It must be
+// called before Run; jobs must have IDs unique within the simulation.
+func (s *Simulator) Load(jobs []*job.Job) error {
+	caps := s.cl.Config().Capacities
+	for _, j := range jobs {
+		if err := j.Validate(caps); err != nil {
+			return fmt.Errorf("sim: load: %w", err)
+		}
+		if _, dup := s.byID[j.ID]; dup {
+			return fmt.Errorf("sim: load: duplicate job ID %d", j.ID)
+		}
+		j.State = job.Queued
+		s.byID[j.ID] = j
+		s.events.push(j.Submit, evSubmit, j.ID)
+	}
+	return nil
+}
+
+// StartJob begins executing a waiting job now. It allocates resources,
+// schedules the completion event, and removes the job from the queue.
+// Policies must only call it for jobs that currently fit.
+func (s *Simulator) StartJob(j *job.Job) error {
+	if j.State != job.Queued {
+		return fmt.Errorf("sim: start job %d in state %v", j.ID, j.State)
+	}
+	if err := s.cl.Allocate(j.ID, j.Demand, s.clk, s.clk+j.Walltime); err != nil {
+		return fmt.Errorf("sim: start: %w", err)
+	}
+	j.State = job.Running
+	j.Start = s.clk
+	s.events.push(s.clk+j.Runtime, evFinish, j.ID)
+	s.removeFromQueue(j.ID)
+	if s.Reserved == j {
+		s.Reserved = nil
+	}
+	return nil
+}
+
+func (s *Simulator) removeFromQueue(id int) {
+	for i, q := range s.queue {
+		if q.ID == id {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// Step processes all events at the next event time, then invokes the policy
+// once. It returns false when no events remain.
+func (s *Simulator) Step() (bool, error) {
+	head, ok := s.events.peek()
+	if !ok {
+		return false, nil
+	}
+	if !s.started {
+		s.started = true
+		s.clock0 = head.time
+		s.acct.init(s.cl, head.time)
+	}
+	if head.time < s.clk {
+		return false, fmt.Errorf("sim: time went backwards: %v -> %v", s.clk, head.time)
+	}
+	s.acct.advance(s.cl, head.time)
+	s.clk = head.time
+	for {
+		e, ok := s.events.peek()
+		if !ok || e.time != s.clk {
+			break
+		}
+		s.events.pop()
+		j := s.byID[e.jobID]
+		switch e.kind {
+		case evSubmit:
+			s.queue = append(s.queue, j)
+		case evFinish:
+			if err := s.cl.Release(j.ID); err != nil {
+				return false, fmt.Errorf("sim: finish: %w", err)
+			}
+			j.State = job.Finished
+			j.End = s.clk
+			s.finished = append(s.finished, j)
+		}
+	}
+	s.policy.OnSchedule(s)
+	s.Decisions++
+	if s.DecisionHook != nil {
+		s.DecisionHook(s)
+	}
+	return true, nil
+}
+
+// Run drives the simulation to completion. It errors if jobs remain queued
+// after all events drain (a policy that starves jobs forever).
+func (s *Simulator) Run() error {
+	steps := 0
+	for {
+		more, err := s.Step()
+		if err != nil {
+			return err
+		}
+		if !more {
+			break
+		}
+		steps++
+		if s.maxEvents > 0 && steps > s.maxEvents {
+			return fmt.Errorf("sim: exceeded %d steps; likely livelock", s.maxEvents)
+		}
+	}
+	if len(s.queue) > 0 {
+		return fmt.Errorf("sim: %d jobs never started (first: job %d); policy starves", len(s.queue), s.queue[0].ID)
+	}
+	return nil
+}
+
+// SetMaxEvents bounds Run to n scheduling rounds (0 = unlimited).
+func (s *Simulator) SetMaxEvents(n int) { s.maxEvents = n }
+
+// ElapsedWindow returns the metrics window [first event, current clock].
+func (s *Simulator) ElapsedWindow() (start, end float64) { return s.clock0, s.clk }
+
+// ResourceSeconds returns the integral of used units over time for resource
+// r (the numerator of the utilization metrics in §IV-B).
+func (s *Simulator) ResourceSeconds(r int) float64 { return s.acct.usedSeconds[r] }
+
+// Utilization returns used-unit-seconds / (capacity * elapsed) for resource
+// r over the simulation so far.
+func (s *Simulator) Utilization(r int) float64 {
+	elapsed := s.clk - s.clock0
+	if elapsed <= 0 {
+		return 0
+	}
+	return s.acct.usedSeconds[r] / (float64(s.cl.Capacity(r)) * elapsed)
+}
+
+// accounting integrates per-resource usage over time.
+type accounting struct {
+	lastTime    float64
+	usedSeconds []float64
+}
+
+func (a *accounting) init(cl *cluster.Cluster, t0 float64) {
+	a.lastTime = t0
+	a.usedSeconds = make([]float64, cl.NumResources())
+}
+
+func (a *accounting) advance(cl *cluster.Cluster, t float64) {
+	if a.usedSeconds == nil {
+		return
+	}
+	dt := t - a.lastTime
+	if dt <= 0 {
+		return
+	}
+	for r := range a.usedSeconds {
+		a.usedSeconds[r] += float64(cl.Used(r)) * dt
+	}
+	a.lastTime = t
+}

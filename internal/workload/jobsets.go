@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+)
+
+// This file builds the three curriculum job-set types of §III-D / §V-B:
+// sampled sets (random jobs from the training trace with controlled Poisson
+// arrivals — the easiest learning environment), real sets (contiguous slices
+// of the trace with its natural burstiness), and synthetic sets (fresh
+// generator output mimicking the trace's patterns — unseen states).
+
+// SampledSets draws n sets of size jobs each from the training trace,
+// replacing arrivals with a Poisson process whose mean inter-arrival matches
+// the trace average.
+func SampledSets(train []*job.Job, n, size int, seed int64) [][]*job.Job {
+	rng := rand.New(rand.NewSource(seed))
+	mean := meanInterarrival(train)
+	sets := make([][]*job.Job, n)
+	for s := range sets {
+		set := make([]*job.Job, size)
+		t := 0.0
+		for i := range set {
+			src := train[rng.Intn(len(train))].Clone()
+			t += rng.ExpFloat64() * mean
+			src.ID = i + 1
+			src.Submit = t
+			set[i] = src
+		}
+		sets[s] = set
+	}
+	return sets
+}
+
+// RealSets slices the training trace into n contiguous windows of size jobs
+// (wrapping if the trace is short), shifting each window's arrivals to start
+// at zero while preserving relative spacing.
+func RealSets(train []*job.Job, n, size int) [][]*job.Job {
+	sets := make([][]*job.Job, n)
+	for s := range sets {
+		start := (s * size) % maxInt(1, len(train))
+		set := make([]*job.Job, 0, size)
+		base := -1.0
+		for i := 0; i < size; i++ {
+			src := train[(start+i)%len(train)]
+			j := src.Clone()
+			if base < 0 {
+				base = j.Submit
+			}
+			j.ID = i + 1
+			j.Submit = j.Submit - base
+			if j.Submit < 0 { // wrapped past the end of the trace
+				j.Submit = 0
+			}
+			set = append(set, j)
+		}
+		job.SortBySubmit(set)
+		sets[s] = set
+	}
+	return sets
+}
+
+// SyntheticSets generates n fresh sets of ~size jobs from the Theta-like
+// generator (new seeds per set), then reassigns burst buffer with the same
+// Darshan statistics — previously unseen arrival patterns and job mixes.
+func SyntheticSets(sys cluster.Config, sc Scenario, n, size int, meanGap float64, seed int64) [][]*job.Job {
+	sets := make([][]*job.Job, n)
+	for s := range sets {
+		gcfg := GeneratorConfig{
+			System:           sys,
+			Duration:         float64(size) * meanGap * 2,
+			MeanInterarrival: meanGap,
+			Seed:             seed + int64(s)*101,
+		}
+		base := GenerateBase(gcfg)
+		if len(base) > size {
+			base = base[:size]
+		}
+		pool := AssignDarshanBB(base, sys.Capacities[1], seed+int64(s)*103)
+		sets[s] = Apply(base, pool, sc, sys, seed+int64(s)*107)
+	}
+	return sets
+}
+
+// meanInterarrival returns the average submit gap of a sorted trace
+// (fallback 60 s for degenerate traces).
+func meanInterarrival(jobs []*job.Job) float64 {
+	if len(jobs) < 2 {
+		return 60
+	}
+	span := jobs[len(jobs)-1].Submit - jobs[0].Submit
+	if span <= 0 {
+		return 60
+	}
+	return span / float64(len(jobs)-1)
+}
+
+// Split divides a trace chronologically into train/validation/test, the
+// paper's 3.5 months / 2 weeks / remainder protocol expressed as fractions.
+func Split(jobs []*job.Job, trainFrac, validFrac float64) (train, valid, test []*job.Job) {
+	n := len(jobs)
+	a := int(float64(n) * trainFrac)
+	b := a + int(float64(n)*validFrac)
+	if a > n {
+		a = n
+	}
+	if b > n {
+		b = n
+	}
+	return jobs[:a], jobs[a:b], jobs[b:]
+}
+
+// PaperSplit applies the paper's exact proportions of the five-month log:
+// 3.5 months training, 0.5 month validation, 1 month test (fractions of the
+// trace duration, mapped to job counts by submit time).
+func PaperSplit(jobs []*job.Job) (train, valid, test []*job.Job) {
+	if len(jobs) == 0 {
+		return nil, nil, nil
+	}
+	start := jobs[0].Submit
+	span := jobs[len(jobs)-1].Submit - start
+	if span <= 0 {
+		return jobs, nil, nil
+	}
+	tEnd := start + span*(3.5/5.0)
+	vEnd := tEnd + span*(0.5/5.0)
+	for _, j := range jobs {
+		switch {
+		case j.Submit < tEnd:
+			train = append(train, j)
+		case j.Submit < vEnd:
+			valid = append(valid, j)
+		default:
+			test = append(test, j)
+		}
+	}
+	return train, valid, test
+}
