@@ -383,6 +383,119 @@ func BenchmarkDFPTrainStep(b *testing.B) {
 	}
 }
 
+// trainReadyAgent builds a DefaultConfig-scale agent with a populated replay
+// buffer for the TrainStep benchmarks.
+func trainReadyAgent(workers int) *dfp.Agent {
+	cfg := dfp.DefaultConfig(256, 2, 10)
+	cfg.Workers = workers
+	agent := dfp.New(cfg)
+	state := make([]float64, 256)
+	goal := []float64{0.5, 0.5}
+	for ep := 0; ep < 8; ep++ {
+		for t := 0; t < 40; t++ {
+			agent.Act(state, []float64{0.5, 0.5}, goal, 10, true)
+		}
+		agent.EndEpisode()
+	}
+	return agent
+}
+
+// BenchmarkTrainStep measures the batched sparse-dueling training engine at
+// DefaultConfig scale (BatchSize 32), sharded across all cores.
+func BenchmarkTrainStep(b *testing.B) {
+	agent := trainReadyAgent(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.TrainStep()
+	}
+}
+
+// BenchmarkTrainStepSingleWorker isolates the batched kernels from the
+// parallel sharding (Workers=1).
+func BenchmarkTrainStepSingleWorker(b *testing.B) {
+	agent := trainReadyAgent(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.TrainStep()
+	}
+}
+
+// BenchmarkTrainStepReference is the pre-refactor per-sample scalar path
+// with the dense dueling backward — the baseline the batched engine is
+// required to beat by >=3x.
+func BenchmarkTrainStepReference(b *testing.B) {
+	agent := trainReadyAgent(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.TrainStepReference()
+	}
+}
+
+// BenchmarkTrainStepPaperScale runs one batched training step on the
+// full-scale §IV-C network. Expensive (~seconds per op): run with
+// -benchtime=1x.
+func BenchmarkTrainStepPaperScale(b *testing.B) {
+	cfg := dfp.PaperScaleConfig(11410, 2, 10)
+	agent := dfp.New(cfg)
+	state := make([]float64, cfg.StateDim)
+	goal := []float64{0.5, 0.5}
+	// EpsStart=1 makes training Acts random (no forward pass), so the
+	// replay fill is cheap even at paper scale.
+	for ep := 0; ep < 4; ep++ {
+		for t := 0; t < 40; t++ {
+			agent.Act(state, []float64{0.5, 0.5}, goal, 10, true)
+		}
+		agent.EndEpisode()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.TrainStep()
+	}
+}
+
+// BenchmarkActInference measures one greedy decision at experiment scale
+// (the QuickScale-campaign network size). Like BenchmarkDecisionLatency it
+// must run at 0 allocs/op.
+func BenchmarkActInference(b *testing.B) {
+	cfg := dfp.DefaultConfig(256, 2, 10)
+	agent := dfp.New(cfg)
+	state := make([]float64, cfg.StateDim)
+	meas := []float64{0.5, 0.4}
+	goal := []float64{0.6, 0.4}
+	agent.Act(state, meas, goal, 10, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Act(state, meas, goal, 10, false)
+	}
+}
+
+// BenchmarkDecisionLatency is the §V-F headline number: one greedy Act call
+// on the full-scale §IV-C network (4000/1000 state module, 512-wide
+// streams, the 11410-feature Theta encoding). Acceptance target: 0 allocs/op
+// in steady state — the forward pass runs entirely through agent-owned
+// scratch buffers.
+func BenchmarkDecisionLatency(b *testing.B) {
+	cfg := dfp.PaperScaleConfig(11410, 2, 10)
+	agent := dfp.New(cfg)
+	state := make([]float64, cfg.StateDim)
+	for i := range state {
+		state[i] = float64(i%7) * 0.1
+	}
+	meas := []float64{0.5, 0.4}
+	goal := []float64{0.6, 0.4}
+	agent.Act(state, meas, goal, 10, false) // warm scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Act(state, meas, goal, 10, false)
+	}
+}
+
 func BenchmarkGAPick(b *testing.B) {
 	sys := benchSystem()
 	cl := cluster.New(sys)

@@ -10,4 +10,30 @@
 // (experiments). Executables are under cmd/, runnable walkthroughs under
 // examples/, and the benchmark harness that regenerates every figure of the
 // paper's evaluation is bench_test.go in this directory.
+//
+// # Performance engine
+//
+// The learning hot path is a zero-steady-state-allocation batched engine:
+//
+//   - Inference: dfp.Agent.Act runs the full forward pass (three input
+//     modules, dueling streams, goal scoring) through agent-owned scratch
+//     buffers — 0 heap allocations per decision. BenchmarkDecisionLatency
+//     measures the paper's §V-F full-scale network (11410 inputs,
+//     4000/1000/512 widths) at ~39 ms per decision on one 2.7 GHz core
+//     against the paper's reported < 2 s.
+//
+//   - Training: dfp.Agent.TrainStep gathers each minibatch into row-major
+//     matrices and drives the nn package's cache-blocked batch kernels once
+//     per shard instead of once per sample, backpropagates the dueling
+//     action stream sparsely (only the taken action's slice, with a
+//     rank-collapsed mean correction), and shards the batch across
+//     dfp.Config.Workers goroutines with per-worker gradients reduced in
+//     fixed order — bitwise deterministic for any fixed worker count. The
+//     pre-refactor scalar path is retained as TrainStepReference and
+//     equivalence-tested against the engine to ≤1e-12.
+//
+// Benchmarks live in bench_test.go (BenchmarkTrainStep*, BenchmarkAct*,
+// BenchmarkDecisionLatency); BENCH_dfp.json records the current snapshot
+// against the seed baseline, and ROADMAP.md's Performance section describes
+// the methodology.
 package repro

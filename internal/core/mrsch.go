@@ -56,6 +56,10 @@ type Options struct {
 	Seed int64
 	// PaperScale selects the full-size §IV-C network (4000/1000/512).
 	PaperScale bool
+	// Workers shards each training minibatch across this many goroutines
+	// (see dfp.Config.Workers); 0 uses all available cores, 1 forces the
+	// single-threaded deterministic path.
+	Workers int
 	// Mutate, when non-nil, receives the dfp.Config before the agent is
 	// built, for fine-grained overrides in tests and experiments.
 	Mutate func(*dfp.Config)
@@ -75,6 +79,7 @@ func New(sys cluster.Config, opts Options) *MRSch {
 		cfg = dfp.DefaultConfig(enc.StateDim(), enc.Resources(), w)
 	}
 	cfg.UseCNN = opts.UseCNN
+	cfg.Workers = opts.Workers
 	if opts.Seed != 0 {
 		cfg.Seed = opts.Seed
 	}

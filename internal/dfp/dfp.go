@@ -14,6 +14,12 @@
 // of Wang et al.) — and summed into per-action predictions. The state module
 // is an MLP in MRSch; the original DFP's convolutional module is provided as
 // an option for the Figure 3 ablation.
+//
+// The hot paths are engineered for throughput: inference (Act) runs through
+// agent-owned scratch buffers with zero steady-state heap allocations, and
+// TrainStep processes each minibatch through batched matrix-matrix kernels
+// with a sparse dueling backward, sharded across Config.Workers goroutines
+// (see engine.go).
 package dfp
 
 import (
@@ -75,7 +81,21 @@ type Config struct {
 	ReplayCap int
 	// BatchSize is the minibatch size per training step.
 	BatchSize int
-	// Seed makes the agent deterministic.
+	// Workers is the number of goroutines TrainStep shards each minibatch
+	// across, each accumulating into per-worker gradient buffers that are
+	// reduced in worker order before the Adam step. 0 defaults to
+	// runtime.GOMAXPROCS(0). Workers=1 runs the single-threaded engine,
+	// whose arithmetic matches the pre-batched scalar reference
+	// (TrainStepReference) to floating-point reassociation (~1e-12); any
+	// fixed value is bitwise deterministic run to run. Custom StateModules
+	// that nn.SharedClone cannot replicate fall back to a single worker.
+	Workers int
+	// Seed makes the agent deterministic: with a fixed Seed and a fixed
+	// Workers value, training is bitwise reproducible run to run. Note the
+	// Workers=0 default resolves to the host's core count, whose shard
+	// boundaries affect floating-point summation order — pin Workers
+	// explicitly (e.g. 1) when bitwise reproducibility across machines
+	// matters.
 	Seed int64
 }
 
@@ -167,6 +187,23 @@ type Agent struct {
 	episode []*stepRecord
 
 	trainSteps int
+
+	// Inference scratch: Act and Predict run entirely through these
+	// agent-owned buffers, so a steady-state Act performs zero heap
+	// allocations (§V-F decision-latency requirement).
+	goalExtBuf  nn.Vec
+	jointBuf    nn.Vec
+	expBuf      nn.Vec
+	actBuf      nn.Vec
+	meanABuf    nn.Vec
+	predBacking nn.Vec
+	predRows    [][]float64
+	scoreBuf    nn.Vec
+
+	// Training engine state (engine.go).
+	workers  []*trainWorker
+	batchBuf []*Experience
+	headWcol nn.Vec // per-step column-collapsed action-head weights (PredDim x StreamHidden)
 }
 
 type stepRecord struct {
@@ -263,22 +300,87 @@ func (a *Agent) NumParams() int {
 // offsets using the configured temporal weights, producing the network's
 // goal input (and the scoring weights for action selection).
 func (a *Agent) ExtendGoal(goal []float64) []float64 {
+	return a.extendGoalInto(make([]float64, a.cfg.GoalDim()), goal)
+}
+
+// extendGoalInto is the zero-allocation ExtendGoal used by Act.
+func (a *Agent) extendGoalInto(dst, goal []float64) []float64 {
 	if len(goal) != a.cfg.Measurements {
 		panic(fmt.Sprintf("dfp: goal has %d entries, want %d", len(goal), a.cfg.Measurements))
 	}
-	out := make([]float64, 0, a.cfg.GoalDim())
+	i := 0
 	for k := range a.cfg.Offsets {
 		w := a.cfg.TemporalWeights[k]
 		for _, g := range goal {
-			out = append(out, w*g)
+			dst[i] = w * g
+			i++
 		}
 	}
-	return out
+	return dst
 }
 
-// forward runs the full network and returns per-action predictions, each of
-// length PredDim. The layers retain forward state, so backwardFromPredGrads
-// may be called immediately afterwards.
+// forwardScratch runs the full network through agent-owned scratch buffers
+// and returns per-action prediction rows aliasing an internal backing array
+// (valid until the next forwardScratch). Zero heap allocations in steady
+// state. The layers retain forward state for the single-sample backward.
+func (a *Agent) forwardScratch(state, meas, goalExt []float64) [][]float64 {
+	so, h := a.cfg.StateOut, a.cfg.ModuleHidden
+	pd, n := a.cfg.PredDim(), a.cfg.Actions
+	jd := so + 2*h
+
+	a.jointBuf = nn.Ensure(a.jointBuf, jd)
+	forwardInto1(a.stateNet, a.jointBuf[:so], state)
+	forwardInto1(a.measNet, a.jointBuf[so:so+h], meas)
+	forwardInto1(a.goalNet, a.jointBuf[so+h:], goalExt)
+
+	a.expBuf = nn.Ensure(a.expBuf, pd)
+	a.actBuf = nn.Ensure(a.actBuf, n*pd)
+	exp := a.expNet.ForwardInto(a.expBuf, a.jointBuf)
+	act := a.actNet.ForwardInto(a.actBuf, a.jointBuf)
+
+	// Dueling combine: p_a = E + A_a - mean_a(A).
+	a.meanABuf = nn.Ensure(a.meanABuf, pd)
+	meanA := a.meanABuf
+	nn.Fill(meanA, 0)
+	for ai := 0; ai < n; ai++ {
+		row := act[ai*pd : (ai+1)*pd]
+		for k, v := range row {
+			meanA[k] += v
+		}
+	}
+	for k := range meanA {
+		meanA[k] /= float64(n)
+	}
+	a.predBacking = nn.Ensure(a.predBacking, n*pd)
+	if len(a.predRows) != n {
+		a.predRows = make([][]float64, n)
+	}
+	for ai := 0; ai < n; ai++ {
+		row := act[ai*pd : (ai+1)*pd]
+		p := a.predBacking[ai*pd : (ai+1)*pd]
+		for k := range p {
+			p[k] = exp[k] + row[k] - meanA[k]
+		}
+		a.predRows[ai] = p
+	}
+	return a.predRows
+}
+
+// forwardInto1 runs one module's scratch-buffer forward, falling back to the
+// allocating path for layers outside this package's substrate.
+func forwardInto1(l nn.Layer, dst, x []float64) {
+	if bl, ok := l.(nn.BufferedLayer); ok {
+		bl.ForwardInto(dst, x)
+		return
+	}
+	copy(dst, l.Forward(x))
+}
+
+// forward runs the full network and returns freshly-allocated per-action
+// predictions, each of length PredDim. It is the scalar reference
+// implementation retained for gradient checks and equivalence tests; hot
+// paths use forwardScratch. The layers retain forward state, so
+// backwardFromPredGrads may be called immediately afterwards.
 func (a *Agent) forward(state, meas, goalExt []float64) [][]float64 {
 	js := a.stateNet.Forward(state)
 	jm := a.measNet.Forward(meas)
@@ -314,7 +416,9 @@ func (a *Agent) forward(state, meas, goalExt []float64) [][]float64 {
 // backwardFromPredGrads backpropagates gradients of the loss with respect to
 // the per-action predictions through the dueling combine, both streams, the
 // concatenation, and the three input modules, accumulating parameter
-// gradients.
+// gradients. It is the dense reference backward; the training engine's
+// sparse path (engine.go) produces the same gradients while only propagating
+// the taken action's PredDim slice through the action stream.
 func (a *Agent) backwardFromPredGrads(grads [][]float64) {
 	pd := a.cfg.PredDim()
 	n := a.cfg.Actions
@@ -346,41 +450,55 @@ func (a *Agent) backwardFromPredGrads(grads [][]float64) {
 }
 
 // Predict returns the per-action predicted future-measurement changes for
-// the given inputs (inference only).
+// the given inputs (inference only). The returned rows are freshly
+// allocated; latency-critical callers should go through Act, which reuses
+// scratch buffers.
 func (a *Agent) Predict(state, meas, goalExt []float64) [][]float64 {
-	return a.forward(state, meas, goalExt)
+	preds := a.forwardScratch(state, meas, goalExt)
+	out := make([][]float64, len(preds))
+	for i, p := range preds {
+		out[i] = append([]float64(nil), p...)
+	}
+	return out
 }
 
 // Score collapses predictions into one scalar objective per action:
 // the dot product of the extended goal with each action's prediction.
 func (a *Agent) Score(preds [][]float64, goalExt []float64) []float64 {
-	out := make([]float64, len(preds))
+	return a.scoreInto(make([]float64, len(preds)), preds, goalExt)
+}
+
+func (a *Agent) scoreInto(dst []float64, preds [][]float64, goalExt []float64) []float64 {
 	for i, p := range preds {
-		out[i] = nn.Dot(goalExt, p)
+		dst[i] = nn.Dot(goalExt, p)
 	}
-	return out
+	return dst
 }
 
 // Act selects an action among the first valid actions. In training mode it
 // follows the epsilon-greedy policy of §IV-C; otherwise it acts greedily on
-// the predicted outcomes.
+// the predicted outcomes. Inference-mode Act performs zero heap allocations
+// in steady state: the whole forward pass runs through agent-owned scratch
+// buffers.
 func (a *Agent) Act(state, meas, goal []float64, valid int, train bool) int {
 	if valid <= 0 || valid > a.cfg.Actions {
 		valid = a.cfg.Actions
 	}
-	goalExt := a.ExtendGoal(goal)
+	a.goalExtBuf = nn.Ensure(a.goalExtBuf, a.cfg.GoalDim())
+	goalExt := a.extendGoalInto(a.goalExtBuf, goal)
 	var action int
 	if train && a.rng.Float64() < a.eps {
 		action = a.rng.Intn(valid)
 	} else {
-		scores := a.Score(a.forward(state, meas, goalExt), goalExt)
+		a.scoreBuf = nn.Ensure(a.scoreBuf, a.cfg.Actions)
+		scores := a.scoreInto(a.scoreBuf, a.forwardScratch(state, meas, goalExt), goalExt)
 		action = nn.ArgMax(scores[:valid])
 	}
 	if train {
 		a.episode = append(a.episode, &stepRecord{
 			state:  append([]float64(nil), state...),
 			meas:   append([]float64(nil), meas...),
-			goal:   goalExt,
+			goal:   append([]float64(nil), goalExt...),
 			action: action,
 			valid:  valid,
 		})
@@ -428,48 +546,6 @@ func (a *Agent) EndEpisode() {
 
 // ReplaySize returns the number of stored experiences.
 func (a *Agent) ReplaySize() int { return a.replay.len() }
-
-// TrainStep samples one minibatch from replay, regresses the taken actions'
-// predictions toward the realized future changes (masked MSE), and applies
-// one Adam update. It returns the mean per-sample loss, or -1 if the replay
-// buffer is still empty.
-func (a *Agent) TrainStep() float64 {
-	if a.replay.len() == 0 {
-		return -1
-	}
-	batch := a.cfg.BatchSize
-	if batch > a.replay.len() {
-		batch = a.replay.len()
-	}
-	pd := a.cfg.PredDim()
-	total := 0.0
-	for b := 0; b < batch; b++ {
-		e := a.replay.sample(a.rng)
-		preds := a.forward(e.State, e.Meas, e.Goal)
-		loss, grad := nn.MaskedMSE(preds[e.Action], e.Target, e.Mask)
-		total += loss
-		grads := make([][]float64, a.cfg.Actions)
-		zero := make([]float64, pd)
-		for ai := range grads {
-			if ai == e.Action {
-				grads[ai] = grad
-			} else {
-				grads[ai] = zero
-			}
-		}
-		a.backwardFromPredGrads(grads)
-	}
-	// Average accumulated gradients over the minibatch.
-	for _, p := range a.params {
-		nn.Scale(p.Grad, 1/float64(batch))
-	}
-	if a.cfg.GradClip > 0 {
-		nn.ClipGrads(a.params, a.cfg.GradClip)
-	}
-	a.opt.Step(a.params)
-	a.trainSteps++
-	return total / float64(batch)
-}
 
 // Save writes all network weights to w.
 func (a *Agent) Save(w io.Writer) error { return nn.SaveWeights(w, a.params) }

@@ -1,0 +1,233 @@
+package dfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// fillReplay stores a deterministic, varied set of experiences in a's
+// replay buffer (mixed actions, partially-masked targets).
+func fillReplay(a *Agent, count int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := a.cfg
+	pd := cfg.PredDim()
+	for i := 0; i < count; i++ {
+		state := make([]float64, cfg.StateDim)
+		for j := range state {
+			state[j] = rng.NormFloat64() * 0.4
+		}
+		meas := make([]float64, cfg.Measurements)
+		for j := range meas {
+			meas[j] = rng.Float64()
+		}
+		goal := make([]float64, cfg.Measurements)
+		for j := range goal {
+			goal[j] = rng.Float64()
+		}
+		target := make([]float64, pd)
+		mask := make([]bool, pd)
+		for j := range target {
+			target[j] = rng.NormFloat64() * 0.2
+			mask[j] = rng.Float64() < 0.8
+		}
+		a.replay.add(&Experience{
+			State:  state,
+			Meas:   meas,
+			Goal:   a.ExtendGoal(goal),
+			Action: rng.Intn(cfg.Actions),
+			Target: target,
+			Mask:   mask,
+		})
+	}
+}
+
+func maxRelDiff(a, b []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		scale := math.Max(1, math.Max(math.Abs(a[i]), math.Abs(b[i])))
+		if r := d / scale; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// compareAgents asserts every parameter of the two agents matches within
+// rel.
+func compareAgents(t *testing.T, x, y *Agent, rel float64, label string) {
+	t.Helper()
+	for i := range x.params {
+		if d := maxRelDiff(x.params[i].Value, y.params[i].Value); d > rel {
+			t.Fatalf("%s: param %s diverges by %g (tol %g)", label, x.params[i].Name, d, rel)
+		}
+	}
+}
+
+// TestTrainStepMatchesReference: the batched sparse engine must reproduce
+// the scalar reference arithmetic (same samples, same rng draws) to within
+// floating-point reassociation across multiple optimizer steps.
+func TestTrainStepMatchesReference(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workers = 1
+	newEngine := New(cfg)
+	reference := New(smallConfig())
+	fillReplay(newEngine, 80, 5)
+	fillReplay(reference, 80, 5)
+
+	for step := 0; step < 25; step++ {
+		ln := newEngine.TrainStep()
+		lr := reference.TrainStepReference()
+		if math.Abs(ln-lr) > 1e-10*math.Max(1, math.Abs(lr)) {
+			t.Fatalf("step %d: loss %v (batched) vs %v (reference)", step, ln, lr)
+		}
+	}
+	compareAgents(t, newEngine, reference, 1e-9, "batched-vs-reference")
+}
+
+// TestTrainStepWorkerCountEquivalence: sharding the minibatch across
+// workers must not change the result beyond reduction-order float noise.
+func TestTrainStepWorkerCountEquivalence(t *testing.T) {
+	mk := func(workers int) *Agent {
+		cfg := smallConfig()
+		cfg.Workers = workers
+		a := New(cfg)
+		fillReplay(a, 64, 9)
+		return a
+	}
+	single := mk(1)
+	quad := mk(4)
+	for step := 0; step < 25; step++ {
+		l1 := single.TrainStep()
+		l4 := quad.TrainStep()
+		if math.Abs(l1-l4) > 1e-10*math.Max(1, math.Abs(l1)) {
+			t.Fatalf("step %d: loss %v (1 worker) vs %v (4 workers)", step, l1, l4)
+		}
+	}
+	compareAgents(t, single, quad, 1e-9, "workers-1-vs-4")
+	if len(quad.workers) != 4 {
+		t.Fatalf("expected 4 workers, built %d", len(quad.workers))
+	}
+}
+
+// TestTrainStepDeterminism: a fixed Workers setting must be bitwise
+// reproducible run to run.
+func TestTrainStepDeterminism(t *testing.T) {
+	mk := func() *Agent {
+		cfg := smallConfig()
+		cfg.Workers = 3
+		a := New(cfg)
+		fillReplay(a, 50, 13)
+		return a
+	}
+	x, y := mk(), mk()
+	for step := 0; step < 10; step++ {
+		if lx, ly := x.TrainStep(), y.TrainStep(); lx != ly {
+			t.Fatalf("step %d: losses differ bitwise: %v vs %v", step, lx, ly)
+		}
+	}
+	for i := range x.params {
+		for j := range x.params[i].Value {
+			if x.params[i].Value[j] != y.params[i].Value[j] {
+				t.Fatalf("param %s not bitwise deterministic", x.params[i].Name)
+			}
+		}
+	}
+}
+
+// TestTrainStepCNNFallback: the CNN state module exercises the Conv1D /
+// MaxPool1D batch kernels inside the engine.
+func TestTrainStepCNNFallback(t *testing.T) {
+	cfg := smallConfig()
+	cfg.StateDim = 24
+	cfg.UseCNN = true
+	cfg.CNNChannels = 3
+	cfg.CNNKernel = 4
+	cfg.CNNStride = 2
+	cfg.CNNPool = 2
+	cfg.Workers = 2
+	batched := New(cfg)
+	cfgRef := cfg
+	cfgRef.Workers = 1
+	reference := New(cfgRef)
+	fillReplay(batched, 40, 21)
+	fillReplay(reference, 40, 21)
+	for step := 0; step < 10; step++ {
+		lb := batched.TrainStep()
+		lr := reference.TrainStepReference()
+		if math.Abs(lb-lr) > 1e-10*math.Max(1, math.Abs(lr)) {
+			t.Fatalf("step %d: CNN loss %v vs reference %v", step, lb, lr)
+		}
+	}
+	compareAgents(t, batched, reference, 1e-9, "cnn-batched-vs-reference")
+}
+
+// TestTrainStepCustomStateModuleFallsBack: a custom module that SharedClone
+// cannot replicate must degrade to one worker, not crash or corrupt.
+func TestTrainStepCustomStateModuleFallsBack(t *testing.T) {
+	cfg := smallConfig()
+	rng := rand.New(rand.NewSource(2))
+	cfg.StateModule = &opaqueModule{inner: nn.NewDense(cfg.StateDim, cfg.StateOut, nn.HeInit, rng)}
+	cfg.Workers = 4
+	a := New(cfg)
+	fillReplay(a, 30, 3)
+	if l := a.TrainStep(); math.IsNaN(l) || l < 0 {
+		t.Fatalf("TrainStep with custom module returned %v", l)
+	}
+	if len(a.workers) != 1 {
+		t.Fatalf("un-cloneable module must force 1 worker, got %d", len(a.workers))
+	}
+}
+
+// opaqueModule hides a Dense behind a type SharedClone does not know.
+type opaqueModule struct{ inner *nn.Dense }
+
+func (o *opaqueModule) Forward(x nn.Vec) nn.Vec  { return o.inner.Forward(x) }
+func (o *opaqueModule) Backward(g nn.Vec) nn.Vec { return o.inner.Backward(g) }
+func (o *opaqueModule) Params() []*nn.Param      { return o.inner.Params() }
+func (o *opaqueModule) OutSize(in int) int       { return o.inner.OutSize(in) }
+
+// TestActZeroAlloc: steady-state inference must not touch the heap — the
+// acceptance target behind BenchmarkDecisionLatency (§V-F).
+func TestActZeroAlloc(t *testing.T) {
+	cfg := DefaultConfig(64, 2, 10)
+	a := New(cfg)
+	state := make([]float64, 64)
+	meas := []float64{0.4, 0.6}
+	goal := []float64{0.7, 0.3}
+	a.Act(state, meas, goal, 10, false) // warm the scratch buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		a.Act(state, meas, goal, 10, false)
+	})
+	if allocs != 0 {
+		t.Fatalf("inference Act allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestForwardScratchMatchesReference: the scratch forward used by Act must
+// agree with the allocating reference forward bit for bit.
+func TestForwardScratchMatchesReference(t *testing.T) {
+	a := New(smallConfig())
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		state := make([]float64, a.cfg.StateDim)
+		for i := range state {
+			state[i] = rng.NormFloat64()
+		}
+		meas := []float64{rng.Float64(), rng.Float64()}
+		goalExt := a.ExtendGoal([]float64{rng.Float64(), rng.Float64()})
+		want := a.forward(state, meas, goalExt)
+		got := a.forwardScratch(state, meas, goalExt)
+		for ai := range want {
+			for k := range want[ai] {
+				if want[ai][k] != got[ai][k] {
+					t.Fatalf("trial %d action %d slot %d: scratch %v != reference %v",
+						trial, ai, k, got[ai][k], want[ai][k])
+				}
+			}
+		}
+	}
+}

@@ -7,9 +7,17 @@ import (
 
 // LeakyReLU applies f(x) = x for x>0, alpha*x otherwise. The paper's state
 // module uses leaky rectifiers between its fully-connected layers (§III-A).
+// Backward routes on the sign of the retained *output* (for alpha>0 the
+// output sign equals the input sign), so no input copy is needed and the
+// caller may freely reuse its input slice. The element-wise kernel is
+// shape-agnostic, so the batched variants simply reinterpret the buffer as
+// bsz rows.
 type LeakyReLU struct {
-	Alpha  float64
-	lastIn Vec
+	Alpha float64
+
+	outBuf Vec // layer-owned copy of the last forward output
+	ginBuf Vec
+	lastN  int // elements retained by the last forward (-1 = none yet)
 }
 
 // NewLeakyReLU returns a leaky rectifier with the conventional alpha=0.01
@@ -18,38 +26,71 @@ func NewLeakyReLU(alpha float64) *LeakyReLU {
 	if alpha <= 0 {
 		alpha = 0.01
 	}
-	return &LeakyReLU{Alpha: alpha}
+	return &LeakyReLU{Alpha: alpha, lastN: -1}
 }
 
 // Forward applies the activation element-wise.
-func (l *LeakyReLU) Forward(x Vec) Vec {
-	l.lastIn = x
-	out := make(Vec, len(x))
+func (l *LeakyReLU) Forward(x Vec) Vec { return l.ForwardInto(make(Vec, len(x)), x) }
+
+// ForwardInto applies the activation into dst. nil selects the layer-owned
+// output buffer, which Backward's sign-routing reads — per the
+// BufferedLayer contract the returned buffer must not be mutated before
+// Backward.
+func (l *LeakyReLU) ForwardInto(dst, x Vec) Vec {
+	l.outBuf = Ensure(l.outBuf, len(x))
+	l.lastN = len(x)
 	for i, v := range x {
 		if v > 0 {
-			out[i] = v
+			l.outBuf[i] = v
 		} else {
-			out[i] = l.Alpha * v
+			l.outBuf[i] = l.Alpha * v
 		}
 	}
-	return out
+	if dst == nil {
+		return l.outBuf
+	}
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("nn: LeakyReLU dst len %d, want %d", len(dst), len(x)))
+	}
+	copy(dst, l.outBuf)
+	return dst
 }
 
 // Backward routes gradients through the active/leaky regions.
-func (l *LeakyReLU) Backward(grad Vec) Vec {
-	if l.lastIn == nil {
+func (l *LeakyReLU) Backward(grad Vec) Vec { return l.BackwardInto(make(Vec, len(grad)), grad) }
+
+// BackwardInto routes gradients into dst (nil selects a layer-owned buffer).
+func (l *LeakyReLU) BackwardInto(dst, grad Vec) Vec {
+	if l.lastN < 0 {
 		panic("nn: LeakyReLU.Backward before Forward")
 	}
-	out := make(Vec, len(grad))
+	if len(grad) != l.lastN {
+		panic(fmt.Sprintf("nn: LeakyReLU.Backward got %d grads, want %d", len(grad), l.lastN))
+	}
+	if dst == nil {
+		l.ginBuf = Ensure(l.ginBuf, len(grad))
+		dst = l.ginBuf
+	}
+	if len(dst) != len(grad) {
+		panic(fmt.Sprintf("nn: LeakyReLU dst len %d, want %d", len(dst), len(grad)))
+	}
+	out := l.outBuf[:l.lastN]
 	for i, g := range grad {
-		if l.lastIn[i] > 0 {
-			out[i] = g
+		if out[i] > 0 {
+			dst[i] = g
 		} else {
-			out[i] = l.Alpha * g
+			dst[i] = l.Alpha * g
 		}
 	}
-	return out
+	return dst
 }
+
+// ForwardBatchInto implements BatchLayer; the kernel is element-wise, so the
+// batch is just a longer vector.
+func (l *LeakyReLU) ForwardBatchInto(dst, x Vec, bsz int) Vec { return l.ForwardInto(dst, x) }
+
+// BackwardBatchInto implements BatchLayer.
+func (l *LeakyReLU) BackwardBatchInto(dst, grad Vec, bsz int) Vec { return l.BackwardInto(dst, grad) }
 
 // Params implements Layer (no parameters).
 func (l *LeakyReLU) Params() []*Param { return nil }
@@ -59,34 +100,67 @@ func (l *LeakyReLU) OutSize(in int) int { return in }
 
 // Tanh applies the hyperbolic tangent element-wise.
 type Tanh struct {
-	lastOut Vec
+	outBuf  Vec // layer-owned copy of the last output (backward needs tanh(x))
+	ginBuf  Vec
+	scratch Vec
+	lastN   int
 }
 
 // NewTanh returns a tanh activation layer.
-func NewTanh() *Tanh { return &Tanh{} }
+func NewTanh() *Tanh { return &Tanh{lastN: -1} }
 
 // Forward applies tanh element-wise.
-func (t *Tanh) Forward(x Vec) Vec {
-	out := make(Vec, len(x))
+func (t *Tanh) Forward(x Vec) Vec { return t.ForwardInto(make(Vec, len(x)), x) }
+
+// ForwardInto applies tanh into dst (nil selects a layer-owned buffer).
+func (t *Tanh) ForwardInto(dst, x Vec) Vec {
+	t.outBuf = Ensure(t.outBuf, len(x))
+	t.lastN = len(x)
 	for i, v := range x {
-		out[i] = math.Tanh(v)
+		t.outBuf[i] = math.Tanh(v)
 	}
-	t.lastOut = out
-	return out
+	if dst == nil {
+		t.scratch = Ensure(t.scratch, len(x))
+		dst = t.scratch
+	}
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("nn: Tanh dst len %d, want %d", len(dst), len(x)))
+	}
+	copy(dst, t.outBuf)
+	return dst
 }
 
 // Backward multiplies by 1-tanh^2.
-func (t *Tanh) Backward(grad Vec) Vec {
-	if t.lastOut == nil {
+func (t *Tanh) Backward(grad Vec) Vec { return t.BackwardInto(make(Vec, len(grad)), grad) }
+
+// BackwardInto multiplies by 1-tanh^2 into dst (nil selects a layer-owned
+// buffer).
+func (t *Tanh) BackwardInto(dst, grad Vec) Vec {
+	if t.lastN < 0 {
 		panic("nn: Tanh.Backward before Forward")
 	}
-	out := make(Vec, len(grad))
-	for i, g := range grad {
-		y := t.lastOut[i]
-		out[i] = g * (1 - y*y)
+	if len(grad) != t.lastN {
+		panic(fmt.Sprintf("nn: Tanh.Backward got %d grads, want %d", len(grad), t.lastN))
 	}
-	return out
+	if dst == nil {
+		t.ginBuf = Ensure(t.ginBuf, len(grad))
+		dst = t.ginBuf
+	}
+	if len(dst) != len(grad) {
+		panic(fmt.Sprintf("nn: Tanh dst len %d, want %d", len(dst), len(grad)))
+	}
+	for i, g := range grad {
+		y := t.outBuf[i]
+		dst[i] = g * (1 - y*y)
+	}
+	return dst
 }
+
+// ForwardBatchInto implements BatchLayer (element-wise kernel).
+func (t *Tanh) ForwardBatchInto(dst, x Vec, bsz int) Vec { return t.ForwardInto(dst, x) }
+
+// BackwardBatchInto implements BatchLayer.
+func (t *Tanh) BackwardBatchInto(dst, grad Vec, bsz int) Vec { return t.BackwardInto(dst, grad) }
 
 // Params implements Layer (no parameters).
 func (t *Tanh) Params() []*Param { return nil }
@@ -96,36 +170,83 @@ func (t *Tanh) OutSize(in int) int { return in }
 
 // SoftmaxLayer turns logits into a probability distribution. Backward
 // applies the full softmax Jacobian, so it composes with any upstream loss
-// gradient (the policy-gradient baseline feeds dL/dp directly).
+// gradient (the policy-gradient baseline feeds dL/dp directly). In batch
+// mode each row is normalized independently.
 type SoftmaxLayer struct {
-	lastOut Vec
+	outBuf  Vec // layer-owned copy of the last output distribution(s)
+	ginBuf  Vec
+	scratch Vec
+	lastN   int // total elements
+	lastB   int // rows
 }
 
 // NewSoftmax returns a softmax output layer.
-func NewSoftmax() *SoftmaxLayer { return &SoftmaxLayer{} }
+func NewSoftmax() *SoftmaxLayer { return &SoftmaxLayer{lastN: -1} }
 
 // Forward computes a numerically-stable softmax.
-func (s *SoftmaxLayer) Forward(x Vec) Vec {
-	out := Softmax(x)
-	s.lastOut = out
-	return out
+func (s *SoftmaxLayer) Forward(x Vec) Vec { return s.ForwardInto(make(Vec, len(x)), x) }
+
+// ForwardInto computes the softmax into dst (nil selects a layer-owned
+// buffer).
+func (s *SoftmaxLayer) ForwardInto(dst, x Vec) Vec { return s.ForwardBatchInto(dst, x, 1) }
+
+// ForwardBatchInto normalizes each of the bsz rows independently.
+func (s *SoftmaxLayer) ForwardBatchInto(dst, x Vec, bsz int) Vec {
+	if bsz <= 0 || len(x)%bsz != 0 {
+		panic(fmt.Sprintf("nn: Softmax batch %d does not divide input %d", bsz, len(x)))
+	}
+	n := len(x) / bsz
+	s.outBuf = Ensure(s.outBuf, len(x))
+	s.lastN, s.lastB = len(x), bsz
+	for b := 0; b < bsz; b++ {
+		SoftmaxInto(s.outBuf[b*n:(b+1)*n], x[b*n:(b+1)*n])
+	}
+	if dst == nil {
+		s.scratch = Ensure(s.scratch, len(x))
+		dst = s.scratch
+	}
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("nn: Softmax dst len %d, want %d", len(dst), len(x)))
+	}
+	copy(dst, s.outBuf)
+	return dst
 }
 
 // Backward computes J^T grad where J is the softmax Jacobian.
-func (s *SoftmaxLayer) Backward(grad Vec) Vec {
-	p := s.lastOut
-	if p == nil {
+func (s *SoftmaxLayer) Backward(grad Vec) Vec { return s.BackwardInto(make(Vec, len(grad)), grad) }
+
+// BackwardInto computes J^T grad into dst (nil selects a layer-owned buffer).
+func (s *SoftmaxLayer) BackwardInto(dst, grad Vec) Vec {
+	if s.lastN < 0 {
 		panic("nn: Softmax.Backward before Forward")
 	}
-	if len(grad) != len(p) {
-		panic(fmt.Sprintf("nn: Softmax.Backward got %d grads, want %d", len(grad), len(p)))
+	return s.BackwardBatchInto(dst, grad, s.lastB)
+}
+
+// BackwardBatchInto applies each row's softmax Jacobian independently.
+func (s *SoftmaxLayer) BackwardBatchInto(dst, grad Vec, bsz int) Vec {
+	if s.lastN < 0 {
+		panic("nn: Softmax.Backward before Forward")
 	}
-	dot := Dot(grad, p)
-	out := make(Vec, len(p))
-	for i := range p {
-		out[i] = p[i] * (grad[i] - dot)
+	if len(grad) != s.lastN || bsz != s.lastB {
+		panic(fmt.Sprintf("nn: Softmax.Backward got %d grads (%d rows), want %d (%d rows)",
+			len(grad), bsz, s.lastN, s.lastB))
 	}
-	return out
+	if dst == nil {
+		s.ginBuf = Ensure(s.ginBuf, len(grad))
+		dst = s.ginBuf
+	}
+	n := len(grad) / bsz
+	for b := 0; b < bsz; b++ {
+		p := s.outBuf[b*n : (b+1)*n]
+		g := grad[b*n : (b+1)*n]
+		d := dst[b*n : (b+1)*n]
+		dot := Dot(g, p)
+		for i := range p {
+			d[i] = p[i] * (g[i] - dot)
+		}
+	}
+	return dst
 }
 
 // Params implements Layer (no parameters).
@@ -133,3 +254,9 @@ func (s *SoftmaxLayer) Params() []*Param { return nil }
 
 // OutSize implements Layer.
 func (s *SoftmaxLayer) OutSize(in int) int { return in }
+
+var (
+	_ BatchLayer = (*LeakyReLU)(nil)
+	_ BatchLayer = (*Tanh)(nil)
+	_ BatchLayer = (*SoftmaxLayer)(nil)
+)

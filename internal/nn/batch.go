@@ -1,0 +1,183 @@
+package nn
+
+import "fmt"
+
+// Batched returns a BatchLayer view of l. Layers with native minibatch
+// kernels are returned as-is; anything else is wrapped in an adapter that
+// runs the scalar path once per row, re-running the forward pass during
+// backward so the wrapped layer's single-sample state is correct for each
+// row. The adapter exists so exotic modules (MultiBranch, user-provided
+// state modules) compose with the batched training engine; hot-path layers
+// all implement BatchLayer natively.
+func Batched(l Layer) BatchLayer {
+	if bl, ok := l.(BatchLayer); ok {
+		return bl
+	}
+	return &batchAdapter{l: l}
+}
+
+type batchAdapter struct {
+	l Layer
+
+	inBuf  Vec // copy of the batch input, for backward recomputation
+	outBuf Vec
+	ginBuf Vec
+	inDim  int
+	outDim int
+	lastB  int
+}
+
+func (a *batchAdapter) Forward(x Vec) Vec     { return a.l.Forward(x) }
+func (a *batchAdapter) Backward(grad Vec) Vec { return a.l.Backward(grad) }
+func (a *batchAdapter) Params() []*Param      { return a.l.Params() }
+func (a *batchAdapter) OutSize(in int) int    { return a.l.OutSize(in) }
+
+func (a *batchAdapter) ForwardInto(dst, x Vec) Vec {
+	if bl, ok := a.l.(BufferedLayer); ok {
+		return bl.ForwardInto(dst, x)
+	}
+	y := a.l.Forward(x)
+	if dst != nil {
+		copy(dst, y)
+		return dst
+	}
+	return y
+}
+
+func (a *batchAdapter) BackwardInto(dst, grad Vec) Vec {
+	if bl, ok := a.l.(BufferedLayer); ok {
+		return bl.BackwardInto(dst, grad)
+	}
+	g := a.l.Backward(grad)
+	if dst != nil {
+		copy(dst, g)
+		return dst
+	}
+	return g
+}
+
+func (a *batchAdapter) forwardRow(dst, x Vec) Vec {
+	if bl, ok := a.l.(BufferedLayer); ok {
+		return bl.ForwardInto(dst, x)
+	}
+	return a.l.Forward(x)
+}
+
+// ForwardBatchInto runs the wrapped layer once per row.
+func (a *batchAdapter) ForwardBatchInto(dst, x Vec, bsz int) Vec {
+	if bsz <= 0 || len(x)%bsz != 0 {
+		panic(fmt.Sprintf("nn: Batched forward batch %d does not divide input %d", bsz, len(x)))
+	}
+	a.inDim = len(x) / bsz
+	a.outDim = a.l.OutSize(a.inDim)
+	a.lastB = bsz
+	a.inBuf = Ensure(a.inBuf, len(x))
+	copy(a.inBuf, x)
+	if dst == nil {
+		a.outBuf = Ensure(a.outBuf, bsz*a.outDim)
+		dst = a.outBuf
+	}
+	if len(dst) != bsz*a.outDim {
+		panic(fmt.Sprintf("nn: Batched forward dst len %d, want %d x %d", len(dst), bsz, a.outDim))
+	}
+	for bi := 0; bi < bsz; bi++ {
+		a.forwardRow(dst[bi*a.outDim:(bi+1)*a.outDim], a.inBuf[bi*a.inDim:(bi+1)*a.inDim])
+	}
+	return dst
+}
+
+// BackwardBatchInto replays each row's forward pass to restore the wrapped
+// layer's state, then runs its backward.
+func (a *batchAdapter) BackwardBatchInto(dst, grad Vec, bsz int) Vec {
+	if a.lastB == 0 {
+		panic("nn: Batched backward before forward")
+	}
+	if bsz != a.lastB || len(grad) != bsz*a.outDim {
+		panic(fmt.Sprintf("nn: Batched backward got %d grads (%d rows), want %d x %d", len(grad), bsz, a.lastB, a.outDim))
+	}
+	if dst == nil {
+		a.ginBuf = Ensure(a.ginBuf, bsz*a.inDim)
+		dst = a.ginBuf
+	}
+	if len(dst) != bsz*a.inDim {
+		panic(fmt.Sprintf("nn: Batched backward dst len %d, want %d x %d", len(dst), bsz, a.inDim))
+	}
+	for bi := 0; bi < bsz; bi++ {
+		row := a.inBuf[bi*a.inDim : (bi+1)*a.inDim]
+		a.forwardRow(nil, row)
+		d := dst[bi*a.inDim : (bi+1)*a.inDim]
+		if bl, ok := a.l.(BufferedLayer); ok {
+			bl.BackwardInto(d, grad[bi*a.outDim:(bi+1)*a.outDim])
+		} else {
+			copy(d, a.l.Backward(grad[bi*a.outDim:(bi+1)*a.outDim]))
+		}
+	}
+	return dst
+}
+
+var _ BatchLayer = (*batchAdapter)(nil)
+
+// SharedCloner lets user-provided layers participate in SharedClone.
+type SharedCloner interface {
+	// SharedClone returns a structural copy sharing parameter Values with
+	// the receiver but owning fresh gradient buffers and forward state.
+	SharedClone() Layer
+}
+
+// shadowParam returns a Param aliasing p's Value storage with a private
+// gradient buffer. Workers read weights through the shared Value slice and
+// accumulate into their own Grad, which the training engine reduces into the
+// master gradient before the optimizer step.
+func shadowParam(p *Param) *Param {
+	return &Param{Name: p.Name, Value: p.Value, Grad: make(Vec, len(p.Grad))}
+}
+
+// SharedClone returns a copy of l that shares parameter Values with l but
+// owns fresh gradient buffers and forward-pass state, so the copy can run
+// concurrent forward/backward passes against the same weights (data-parallel
+// minibatch training). The second result reports whether l (and every
+// sub-layer) is of a supported type; custom layers can opt in via
+// SharedCloner.
+func SharedClone(l Layer) (Layer, bool) {
+	switch t := l.(type) {
+	case *Dense:
+		return &Dense{In: t.In, Out: t.Out, W: shadowParam(t.W), B: shadowParam(t.B)}, true
+	case *LeakyReLU:
+		return &LeakyReLU{Alpha: t.Alpha, lastN: -1}, true
+	case *Tanh:
+		return NewTanh(), true
+	case *SoftmaxLayer:
+		return NewSoftmax(), true
+	case *Conv1D:
+		return &Conv1D{
+			InCh: t.InCh, OutCh: t.OutCh, InLen: t.InLen,
+			Kernel: t.Kernel, Stride: t.Stride, outLen: t.outLen,
+			W: shadowParam(t.W), B: shadowParam(t.B),
+		}, true
+	case *MaxPool1D:
+		return &MaxPool1D{Ch: t.Ch, InLen: t.InLen, Pool: t.Pool, outLen: t.outLen}, true
+	case *Sequential:
+		layers := make([]Layer, len(t.Layers))
+		for i, child := range t.Layers {
+			c, ok := SharedClone(child)
+			if !ok {
+				return nil, false
+			}
+			layers[i] = c
+		}
+		return &Sequential{Layers: layers}, true
+	case *MultiBranch:
+		branches := make([]Branch, len(t.Branches))
+		for i, b := range t.Branches {
+			c, ok := SharedClone(b.Net)
+			if !ok {
+				return nil, false
+			}
+			branches[i] = Branch{Ranges: b.Ranges, Net: c}
+		}
+		return &MultiBranch{InSize: t.InSize, Branches: branches, outSizes: append([]int(nil), t.outSizes...)}, true
+	case SharedCloner:
+		return t.SharedClone(), true
+	}
+	return nil, false
+}

@@ -1,0 +1,332 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the scratch-buffer and minibatch engine: every Into /
+// Batch path must reproduce the scalar allocating path across randomized
+// layer shapes, both forward values and accumulated gradients.
+
+const kernelTol = 1e-12
+
+func randVec(rng *rand.Rand, n int) Vec {
+	v := make(Vec, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func maxAbsDiff(a, b Vec) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// freshPair builds two structurally-identical layers with identical weights
+// from the same seed, so one can run the reference path and the other the
+// path under test without sharing gradient or forward state.
+func freshPair(build func(rng *rand.Rand) Layer, seed int64) (ref, dut Layer) {
+	return build(rand.New(rand.NewSource(seed))), build(rand.New(rand.NewSource(seed)))
+}
+
+func zeroGrads(l Layer) {
+	for _, p := range l.Params() {
+		p.ZeroGrad()
+	}
+}
+
+func compareGrads(t *testing.T, ref, dut Layer, label string) {
+	t.Helper()
+	rp, dp := ref.Params(), dut.Params()
+	for i := range rp {
+		if d := maxAbsDiff(rp[i].Grad, dp[i].Grad); d > kernelTol {
+			t.Fatalf("%s: param %s grad diverges by %g", label, rp[i].Name, d)
+		}
+	}
+}
+
+// layerCase describes one randomized topology for the equivalence sweep.
+type layerCase struct {
+	name  string
+	in    int
+	build func(rng *rand.Rand) Layer
+}
+
+func sweepCases(rng *rand.Rand) []layerCase {
+	in := 3 + rng.Intn(40)
+	out := 1 + rng.Intn(30)
+	hidden := 2 + rng.Intn(20)
+	ch := 1 + rng.Intn(3)
+	clen := 6 + rng.Intn(20)
+	kernel := 2 + rng.Intn(4)
+	stride := 1 + rng.Intn(2)
+	pool := 2
+	convOut := (clen-kernel)/stride + 1
+	return []layerCase{
+		{"dense", in, func(r *rand.Rand) Layer { return NewDense(in, out, HeInit, r) }},
+		{"leakyrelu", in, func(r *rand.Rand) Layer { return NewLeakyReLU(0.01) }},
+		{"tanh", in, func(r *rand.Rand) Layer { return NewTanh() }},
+		{"softmax", in, func(r *rand.Rand) Layer { return NewSoftmax() }},
+		{"conv1d", ch * clen, func(r *rand.Rand) Layer { return NewConv1D(ch, clen, 2, kernel, stride, r) }},
+		{"maxpool", ch * clen, func(r *rand.Rand) Layer { return NewMaxPool1D(ch, clen, pool) }},
+		{"sequential", in, func(r *rand.Rand) Layer {
+			return NewSequential(in,
+				NewDense(in, hidden, HeInit, r), NewLeakyReLU(0.01),
+				NewDense(hidden, out, XavierInit, r),
+			)
+		}},
+		{"conv-stack", clen, func(r *rand.Rand) Layer {
+			conv := NewConv1D(1, clen, 2, kernel, stride, r)
+			return NewSequential(clen,
+				conv, NewLeakyReLU(0.01),
+				NewDense(2*convOut, out, HeInit, r),
+			)
+		}},
+		{"multibranch", in, func(r *rand.Rand) Layer {
+			half := in / 2
+			return NewMultiBranch(in,
+				Branch{Ranges: [][2]int{{0, half}}, Net: NewDense(half, 4, HeInit, r)},
+				Branch{Ranges: [][2]int{{half / 2, in}}, Net: NewDense(in-half/2, 3, HeInit, r)},
+			)
+		}},
+	}
+}
+
+// TestForwardIntoMatchesForward: the scratch-buffer scalar path must equal
+// the allocating path bit for bit, for caller-provided and layer-owned dst.
+func TestForwardIntoMatchesForward(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		shapes := rand.New(rand.NewSource(int64(1000 + trial)))
+		for _, tc := range sweepCases(shapes) {
+			ref, dut := freshPair(tc.build, int64(trial))
+			bdut, ok := dut.(BufferedLayer)
+			if !ok {
+				t.Fatalf("%s does not implement BufferedLayer", tc.name)
+			}
+			dataRng := rand.New(rand.NewSource(int64(5000 + trial)))
+			x := randVec(dataRng, tc.in)
+			want := ref.Forward(x)
+			got := bdut.ForwardInto(nil, x)
+			if d := maxAbsDiff(want, got); d > 0 {
+				t.Fatalf("%s trial %d: ForwardInto(nil) diverges by %g", tc.name, trial, d)
+			}
+			dst := make(Vec, len(want))
+			got = bdut.ForwardInto(dst, x)
+			if d := maxAbsDiff(want, got); d > 0 {
+				t.Fatalf("%s trial %d: ForwardInto(dst) diverges by %g", tc.name, trial, d)
+			}
+			// Backward through both paths with the same output gradient.
+			g := randVec(dataRng, len(want))
+			zeroGrads(ref)
+			zeroGrads(dut)
+			wantGin := ref.Backward(g)
+			gotGin := bdut.BackwardInto(nil, g)
+			if d := maxAbsDiff(wantGin, gotGin); d > 0 {
+				t.Fatalf("%s trial %d: BackwardInto diverges by %g", tc.name, trial, d)
+			}
+			compareGrads(t, ref, dut, tc.name)
+		}
+	}
+}
+
+// TestBatchMatchesScalar: one ForwardBatchInto/BackwardBatchInto over B rows
+// must reproduce B sequential scalar passes — outputs, input gradients, and
+// accumulated parameter gradients.
+func TestBatchMatchesScalar(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		shapes := rand.New(rand.NewSource(int64(2000 + trial)))
+		bsz := 1 + shapes.Intn(9)
+		for _, tc := range sweepCases(shapes) {
+			ref, dut := freshPair(tc.build, int64(100+trial))
+			bdut := Batched(dut)
+			dataRng := rand.New(rand.NewSource(int64(7000 + trial)))
+			outDim := ref.OutSize(tc.in)
+			xs := randVec(dataRng, bsz*tc.in)
+			gs := randVec(dataRng, bsz*outDim)
+
+			// Reference: scalar loop in row order.
+			zeroGrads(ref)
+			wantOut := make(Vec, 0, bsz*outDim)
+			wantGin := make(Vec, 0, bsz*tc.in)
+			for b := 0; b < bsz; b++ {
+				wantOut = append(wantOut, ref.Forward(xs[b*tc.in:(b+1)*tc.in])...)
+			}
+			// Scalar Backward must follow its own Forward per row, so rerun.
+			for b := 0; b < bsz; b++ {
+				ref.Forward(xs[b*tc.in : (b+1)*tc.in])
+				wantGin = append(wantGin, ref.Backward(gs[b*outDim:(b+1)*outDim])...)
+			}
+
+			zeroGrads(dut)
+			gotOut := bdut.ForwardBatchInto(nil, xs, bsz)
+			if d := maxAbsDiff(wantOut, gotOut); d > kernelTol {
+				t.Fatalf("%s trial %d bsz %d: batch forward diverges by %g", tc.name, trial, bsz, d)
+			}
+			gotGin := bdut.BackwardBatchInto(nil, gs, bsz)
+			if d := maxAbsDiff(wantGin, gotGin); d > kernelTol {
+				t.Fatalf("%s trial %d bsz %d: batch input grad diverges by %g", tc.name, trial, bsz, d)
+			}
+			// The reference accumulated two forward passes' worth of nothing
+			// (forward does not touch grads) and one backward per row; the
+			// batch path one backward over the batch. Grads must match.
+			compareGrads(t, ref, dut, tc.name)
+		}
+	}
+}
+
+// TestBatchedDenseGradCheck: finite-difference check straight through the
+// minibatch kernel, proving the matrix-matrix forward/backward pair is a
+// consistent derivative, not just consistent with the scalar path.
+func TestBatchedDenseGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	const in, out, bsz = 7, 5, 4
+	d := NewDense(in, out, HeInit, rng)
+	x := randVec(rng, bsz*in)
+	target := randVec(rng, bsz*out)
+	loss := func() float64 {
+		y := d.ForwardBatchInto(nil, x, bsz)
+		l, _ := MSE(y, target)
+		return l
+	}
+	backward := func() {
+		y := d.ForwardBatchInto(nil, x, bsz)
+		_, g := MSE(y, target)
+		d.BackwardBatchInto(nil, g, bsz)
+	}
+	if worst := GradCheck(d.Params(), loss, backward, 1e-5, 0); worst > 1e-4 {
+		t.Fatalf("batched Dense gradient check failed: max rel err %v", worst)
+	}
+}
+
+// TestDenseInputAliasing is the regression test for the input-retention
+// hazard: Forward used to retain the caller's slice, so mutating it between
+// Forward and Backward corrupted the weight gradient. Layers now copy.
+func TestDenseInputAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ref, dut := freshPair(func(r *rand.Rand) Layer { return NewDense(6, 4, HeInit, r) }, 42)
+	x := randVec(rng, 6)
+	g := randVec(rng, 4)
+
+	xCopy := append(Vec(nil), x...)
+	ref.Forward(xCopy)
+	zeroGrads(ref)
+	ref.Backward(g)
+
+	dut.Forward(x)
+	Fill(x, 1e9) // caller reuses its buffer before Backward
+	zeroGrads(dut)
+	dut.Backward(g)
+
+	compareGrads(t, ref, dut, "dense-aliasing")
+}
+
+// TestActivationInputAliasing covers the same hazard for activations, which
+// also used to retain the caller's slice.
+func TestActivationInputAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	l := NewLeakyReLU(0.01)
+	x := Vec{1, -2, 3, -4}
+	l.Forward(x)
+	x[0], x[1] = -1, 2 // flip signs after forward
+	gin := l.Backward(Vec{1, 1, 1, 1})
+	want := Vec{1, 0.01, 1, 0.01} // routing must follow the ORIGINAL input
+	if d := maxAbsDiff(gin, want); d > 0 {
+		t.Fatalf("LeakyReLU used mutated input: gin=%v want %v", gin, want)
+	}
+	_ = rng
+}
+
+// TestSharedClone: clones must share weight values (an update through the
+// master is visible to the clone) but keep private gradients.
+func TestSharedClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	master := NewSequential(8,
+		NewDense(8, 6, HeInit, rng), NewLeakyReLU(0.01),
+		NewDense(6, 3, HeInit, rng),
+	)
+	cloneL, ok := SharedClone(master)
+	if !ok {
+		t.Fatal("SharedClone rejected a Dense stack")
+	}
+	clone := cloneL.(*Sequential)
+
+	x := randVec(rng, 8)
+	want := master.Forward(x)
+	got := clone.Forward(x)
+	if d := maxAbsDiff(want, got); d > 0 {
+		t.Fatalf("clone forward diverges by %g", d)
+	}
+
+	// Mutate a master weight; the clone must see it (shared Values).
+	master.Params()[0].Value[0] += 0.5
+	want = master.Forward(x)
+	got = clone.Forward(x)
+	if d := maxAbsDiff(want, got); d > 0 {
+		t.Fatalf("clone did not observe master weight update (diff %g)", d)
+	}
+
+	// Backward on the clone must not touch master gradients.
+	zeroGrads(master)
+	g := randVec(rng, 3)
+	clone.Backward(g)
+	for _, p := range master.Params() {
+		for _, v := range p.Grad {
+			if v != 0 {
+				t.Fatal("clone backward leaked into master gradients")
+			}
+		}
+	}
+
+	if _, ok := SharedClone(&batchAdapter{}); ok {
+		t.Fatal("SharedClone accepted an unsupported layer type")
+	}
+}
+
+// TestSequentialForwardIntoZeroAlloc: after warm-up, the scratch-buffer path
+// must not allocate — the property the §V-F decision-latency target rests
+// on.
+func TestSequentialForwardIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	net := NewSequential(32,
+		NewDense(32, 24, HeInit, rng), NewLeakyReLU(0.01),
+		NewDense(24, 8, HeInit, rng),
+	)
+	x := randVec(rng, 32)
+	g := randVec(rng, 8)
+	net.ForwardInto(nil, x)
+	net.BackwardInto(nil, g)
+	allocs := testing.AllocsPerRun(50, func() {
+		net.ForwardInto(nil, x)
+		net.BackwardInto(nil, g)
+	})
+	if allocs != 0 {
+		t.Fatalf("scratch-buffer pass allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestEnsure pins the scratch-buffer growth contract.
+func TestEnsure(t *testing.T) {
+	v := Ensure(nil, 4)
+	if len(v) != 4 {
+		t.Fatalf("Ensure(nil,4) len %d", len(v))
+	}
+	w := Ensure(v, 2)
+	if &w[0] != &v[0] || len(w) != 2 {
+		t.Fatal("Ensure must reuse capacity when shrinking")
+	}
+	u := Ensure(v, 100)
+	if len(u) != 100 {
+		t.Fatalf("Ensure growth len %d", len(u))
+	}
+}

@@ -8,7 +8,9 @@ import (
 // Conv1D is a one-dimensional convolution over a channel-major input layout
 // ([ch0 pos0..posL-1, ch1 pos0..posL-1, ...]). It exists to reproduce the
 // paper's Figure 3 ablation, which compares the original DFP's convolutional
-// state module against MRSch's MLP state module.
+// state module against MRSch's MLP state module. It implements BatchLayer;
+// the batch variants run the row kernel per sample over a layer-owned copy
+// of the batch input.
 type Conv1D struct {
 	InCh, OutCh int
 	InLen       int
@@ -17,7 +19,11 @@ type Conv1D struct {
 	outLen      int
 	W           *Param // OutCh x InCh x Kernel
 	B           *Param // OutCh
-	lastIn      Vec
+
+	inBuf  Vec // layer-owned copy of the last forward input (lastB rows)
+	outBuf Vec
+	ginBuf Vec
+	lastB  int
 }
 
 // NewConv1D builds a convolution layer. Output length is
@@ -42,13 +48,43 @@ func (c *Conv1D) OutLen() int { return c.outLen }
 
 func (c *Conv1D) wAt(oc, ic, k int) int { return (oc*c.InCh+ic)*c.Kernel + k }
 
+func (c *Conv1D) inDim() int  { return c.InCh * c.InLen }
+func (c *Conv1D) outDim() int { return c.OutCh * c.outLen }
+
 // Forward performs the convolution. Input length must be InCh*InLen.
-func (c *Conv1D) Forward(x Vec) Vec {
-	if len(x) != c.InCh*c.InLen {
-		panic(fmt.Sprintf("nn: Conv1D.Forward got %d inputs, want %d", len(x), c.InCh*c.InLen))
+func (c *Conv1D) Forward(x Vec) Vec { return c.ForwardInto(make(Vec, c.outDim()), x) }
+
+// ForwardInto performs the convolution into dst (nil selects a layer-owned
+// buffer).
+func (c *Conv1D) ForwardInto(dst, x Vec) Vec {
+	if len(x) != c.inDim() {
+		panic(fmt.Sprintf("nn: Conv1D.Forward got %d inputs, want %d", len(x), c.inDim()))
 	}
-	c.lastIn = x
-	out := make(Vec, c.OutCh*c.outLen)
+	return c.ForwardBatchInto(dst, x, 1)
+}
+
+// ForwardBatchInto convolves bsz row-major samples in one call.
+func (c *Conv1D) ForwardBatchInto(dst, x Vec, bsz int) Vec {
+	if bsz <= 0 || len(x) != bsz*c.inDim() {
+		panic(fmt.Sprintf("nn: Conv1D.ForwardBatch got %d inputs, want %d x %d", len(x), bsz, c.inDim()))
+	}
+	c.inBuf = Ensure(c.inBuf, len(x))
+	copy(c.inBuf, x)
+	c.lastB = bsz
+	if dst == nil {
+		c.outBuf = Ensure(c.outBuf, bsz*c.outDim())
+		dst = c.outBuf
+	}
+	if len(dst) != bsz*c.outDim() {
+		panic(fmt.Sprintf("nn: Conv1D.ForwardBatch dst len %d, want %d x %d", len(dst), bsz, c.outDim()))
+	}
+	for bi := 0; bi < bsz; bi++ {
+		c.forwardRow(dst[bi*c.outDim():(bi+1)*c.outDim()], c.inBuf[bi*c.inDim():(bi+1)*c.inDim()])
+	}
+	return dst
+}
+
+func (c *Conv1D) forwardRow(out, x Vec) {
 	for oc := 0; oc < c.OutCh; oc++ {
 		for p := 0; p < c.outLen; p++ {
 			s := c.B.Value[oc]
@@ -62,18 +98,48 @@ func (c *Conv1D) Forward(x Vec) Vec {
 			out[oc*c.outLen+p] = s
 		}
 	}
-	return out
 }
 
 // Backward accumulates kernel/bias gradients and returns input gradients.
 func (c *Conv1D) Backward(grad Vec) Vec {
-	if len(grad) != c.OutCh*c.outLen {
-		panic(fmt.Sprintf("nn: Conv1D.Backward got %d grads, want %d", len(grad), c.OutCh*c.outLen))
-	}
-	if c.lastIn == nil {
+	return c.BackwardInto(make(Vec, c.lastB*c.inDim()), grad)
+}
+
+// BackwardInto accumulates gradients and writes input gradients into dst
+// (nil selects a layer-owned buffer).
+func (c *Conv1D) BackwardInto(dst, grad Vec) Vec {
+	if c.lastB == 0 {
 		panic("nn: Conv1D.Backward before Forward")
 	}
-	gin := make(Vec, len(c.lastIn))
+	return c.BackwardBatchInto(dst, grad, c.lastB)
+}
+
+// BackwardBatchInto is the batched backward: parameter gradients accumulate
+// summed over rows.
+func (c *Conv1D) BackwardBatchInto(dst, grad Vec, bsz int) Vec {
+	if c.lastB != bsz {
+		panic(fmt.Sprintf("nn: Conv1D.BackwardBatch bsz %d, forward saw %d", bsz, c.lastB))
+	}
+	if len(grad) != bsz*c.outDim() {
+		panic(fmt.Sprintf("nn: Conv1D.Backward got %d grads, want %d x %d", len(grad), bsz, c.outDim()))
+	}
+	if dst == nil {
+		c.ginBuf = Ensure(c.ginBuf, bsz*c.inDim())
+		dst = c.ginBuf
+	}
+	if len(dst) != bsz*c.inDim() {
+		panic(fmt.Sprintf("nn: Conv1D.BackwardBatch dst len %d, want %d x %d", len(dst), bsz, c.inDim()))
+	}
+	Fill(dst, 0)
+	for bi := 0; bi < bsz; bi++ {
+		c.backwardRow(dst[bi*c.inDim():(bi+1)*c.inDim()],
+			grad[bi*c.outDim():(bi+1)*c.outDim()],
+			c.inBuf[bi*c.inDim():(bi+1)*c.inDim()])
+	}
+	return dst
+}
+
+func (c *Conv1D) backwardRow(gin, grad, x Vec) {
 	for oc := 0; oc < c.OutCh; oc++ {
 		for p := 0; p < c.outLen; p++ {
 			g := grad[oc*c.outLen+p]
@@ -83,7 +149,7 @@ func (c *Conv1D) Backward(grad Vec) Vec {
 			c.B.Grad[oc] += g
 			base := p * c.Stride
 			for ic := 0; ic < c.InCh; ic++ {
-				in := c.lastIn[ic*c.InLen:]
+				in := x[ic*c.InLen:]
 				ginCh := gin[ic*c.InLen:]
 				for k := 0; k < c.Kernel; k++ {
 					wi := c.wAt(oc, ic, k)
@@ -93,7 +159,6 @@ func (c *Conv1D) Backward(grad Vec) Vec {
 			}
 		}
 	}
-	return gin
 }
 
 // Params returns kernel and bias parameters.
@@ -101,18 +166,23 @@ func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
 
 // OutSize implements Layer.
 func (c *Conv1D) OutSize(in int) int {
-	if in != c.InCh*c.InLen {
-		panic(fmt.Sprintf("nn: Conv1D.OutSize input %d, layer expects %d", in, c.InCh*c.InLen))
+	if in != c.inDim() {
+		panic(fmt.Sprintf("nn: Conv1D.OutSize input %d, layer expects %d", in, c.inDim()))
 	}
-	return c.OutCh * c.outLen
+	return c.outDim()
 }
 
 // MaxPool1D downsamples each channel by taking the maximum over
-// non-overlapping windows of size Pool.
+// non-overlapping windows of size Pool. It implements BatchLayer with a
+// per-row argmax record.
 type MaxPool1D struct {
 	Ch, InLen, Pool int
 	outLen          int
-	argmax          []int
+
+	argmax []int // winner index per output element, batch-relative
+	outBuf Vec
+	ginBuf Vec
+	lastB  int
 }
 
 // NewMaxPool1D builds a max-pool layer; trailing elements that do not fill a
@@ -127,39 +197,91 @@ func NewMaxPool1D(ch, inLen, pool int) *MaxPool1D {
 // OutLen reports the pooled spatial length per channel.
 func (m *MaxPool1D) OutLen() int { return m.outLen }
 
+func (m *MaxPool1D) inDim() int  { return m.Ch * m.InLen }
+func (m *MaxPool1D) outDim() int { return m.Ch * m.outLen }
+
 // Forward records argmax indices for the backward pass.
-func (m *MaxPool1D) Forward(x Vec) Vec {
-	if len(x) != m.Ch*m.InLen {
-		panic(fmt.Sprintf("nn: MaxPool1D.Forward got %d inputs, want %d", len(x), m.Ch*m.InLen))
+func (m *MaxPool1D) Forward(x Vec) Vec { return m.ForwardInto(make(Vec, m.outDim()), x) }
+
+// ForwardInto pools into dst (nil selects a layer-owned buffer).
+func (m *MaxPool1D) ForwardInto(dst, x Vec) Vec {
+	if len(x) != m.inDim() {
+		panic(fmt.Sprintf("nn: MaxPool1D.Forward got %d inputs, want %d", len(x), m.inDim()))
 	}
-	out := make(Vec, m.Ch*m.outLen)
-	m.argmax = make([]int, m.Ch*m.outLen)
-	for c := 0; c < m.Ch; c++ {
-		in := x[c*m.InLen:]
-		for p := 0; p < m.outLen; p++ {
-			best := p * m.Pool
-			for k := 1; k < m.Pool; k++ {
-				if in[p*m.Pool+k] > in[best] {
-					best = p*m.Pool + k
+	return m.ForwardBatchInto(dst, x, 1)
+}
+
+// ForwardBatchInto pools bsz row-major samples in one call.
+func (m *MaxPool1D) ForwardBatchInto(dst, x Vec, bsz int) Vec {
+	if bsz <= 0 || len(x) != bsz*m.inDim() {
+		panic(fmt.Sprintf("nn: MaxPool1D.ForwardBatch got %d inputs, want %d x %d", len(x), bsz, m.inDim()))
+	}
+	if cap(m.argmax) < bsz*m.outDim() {
+		m.argmax = make([]int, bsz*m.outDim())
+	}
+	m.argmax = m.argmax[:bsz*m.outDim()]
+	m.lastB = bsz
+	if dst == nil {
+		m.outBuf = Ensure(m.outBuf, bsz*m.outDim())
+		dst = m.outBuf
+	}
+	if len(dst) != bsz*m.outDim() {
+		panic(fmt.Sprintf("nn: MaxPool1D.ForwardBatch dst len %d, want %d x %d", len(dst), bsz, m.outDim()))
+	}
+	for bi := 0; bi < bsz; bi++ {
+		xr := x[bi*m.inDim() : (bi+1)*m.inDim()]
+		dr := dst[bi*m.outDim() : (bi+1)*m.outDim()]
+		ar := m.argmax[bi*m.outDim() : (bi+1)*m.outDim()]
+		for ch := 0; ch < m.Ch; ch++ {
+			in := xr[ch*m.InLen:]
+			for p := 0; p < m.outLen; p++ {
+				best := p * m.Pool
+				for k := 1; k < m.Pool; k++ {
+					if in[p*m.Pool+k] > in[best] {
+						best = p*m.Pool + k
+					}
 				}
+				dr[ch*m.outLen+p] = in[best]
+				ar[ch*m.outLen+p] = bi*m.inDim() + ch*m.InLen + best
 			}
-			out[c*m.outLen+p] = in[best]
-			m.argmax[c*m.outLen+p] = c*m.InLen + best
 		}
 	}
-	return out
+	return dst
 }
 
 // Backward routes each gradient to the position that won the max.
 func (m *MaxPool1D) Backward(grad Vec) Vec {
-	if m.argmax == nil {
+	return m.BackwardInto(make(Vec, m.lastB*m.inDim()), grad)
+}
+
+// BackwardInto routes gradients into dst (nil selects a layer-owned buffer).
+func (m *MaxPool1D) BackwardInto(dst, grad Vec) Vec {
+	if m.lastB == 0 {
 		panic("nn: MaxPool1D.Backward before Forward")
 	}
-	gin := make(Vec, m.Ch*m.InLen)
-	for i, g := range grad {
-		gin[m.argmax[i]] += g
+	return m.BackwardBatchInto(dst, grad, m.lastB)
+}
+
+// BackwardBatchInto routes each row's gradients to its recorded winners.
+func (m *MaxPool1D) BackwardBatchInto(dst, grad Vec, bsz int) Vec {
+	if m.lastB != bsz {
+		panic(fmt.Sprintf("nn: MaxPool1D.BackwardBatch bsz %d, forward saw %d", bsz, m.lastB))
 	}
-	return gin
+	if len(grad) != bsz*m.outDim() {
+		panic(fmt.Sprintf("nn: MaxPool1D.Backward got %d grads, want %d x %d", len(grad), bsz, m.outDim()))
+	}
+	if dst == nil {
+		m.ginBuf = Ensure(m.ginBuf, bsz*m.inDim())
+		dst = m.ginBuf
+	}
+	if len(dst) != bsz*m.inDim() {
+		panic(fmt.Sprintf("nn: MaxPool1D.BackwardBatch dst len %d, want %d x %d", len(dst), bsz, m.inDim()))
+	}
+	Fill(dst, 0)
+	for i, g := range grad {
+		dst[m.argmax[i]] += g
+	}
+	return dst
 }
 
 // Params implements Layer (no parameters).
@@ -167,8 +289,13 @@ func (m *MaxPool1D) Params() []*Param { return nil }
 
 // OutSize implements Layer.
 func (m *MaxPool1D) OutSize(in int) int {
-	if in != m.Ch*m.InLen {
-		panic(fmt.Sprintf("nn: MaxPool1D.OutSize input %d, layer expects %d", in, m.Ch*m.InLen))
+	if in != m.inDim() {
+		panic(fmt.Sprintf("nn: MaxPool1D.OutSize input %d, layer expects %d", in, m.inDim()))
 	}
-	return m.Ch * m.outLen
+	return m.outDim()
 }
+
+var (
+	_ BatchLayer = (*Conv1D)(nil)
+	_ BatchLayer = (*MaxPool1D)(nil)
+)

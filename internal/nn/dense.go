@@ -9,12 +9,22 @@ import (
 // (out x in). It is the workhorse of every network in the paper: the state,
 // measurement and goal modules, the dueling streams, and the policy-gradient
 // baseline are all stacks of Dense layers.
+//
+// Dense implements BatchLayer: the Into variants run without allocation, and
+// the batch variants process B row-major samples through one cache-blocked,
+// 4-way-unrolled matrix-matrix kernel instead of B matrix-vector loops. The
+// forward input is copied into a layer-owned buffer, so callers may mutate
+// their input slice between Forward and Backward.
 type Dense struct {
 	In, Out int
 	W       *Param // len In*Out, row-major (row = output neuron)
 	B       *Param // len Out
 
-	lastIn Vec // input saved by Forward for Backward
+	inBuf  Vec // layer-owned copy of the last forward input (lastB rows)
+	outBuf Vec
+	ginBuf Vec
+	wtBuf  Vec // transposed weights (in x out), rebuilt per batched backward
+	lastB  int // rows retained by the last forward (0 = none yet)
 }
 
 // NewDense constructs an in->out fully-connected layer with the given
@@ -33,50 +43,331 @@ func NewDense(in, out int, scheme Init, rng *rand.Rand) *Dense {
 	return d
 }
 
-// Forward computes W*x+b and retains x for Backward.
-func (d *Dense) Forward(x Vec) Vec {
+// Forward computes W*x+b and retains a copy of x for Backward.
+func (d *Dense) Forward(x Vec) Vec { return d.ForwardInto(make(Vec, d.Out), x) }
+
+// ForwardInto computes W*x+b into dst (nil selects a layer-owned buffer).
+func (d *Dense) ForwardInto(dst, x Vec) Vec {
 	if len(x) != d.In {
 		panic(fmt.Sprintf("nn: Dense.Forward got %d inputs, want %d", len(x), d.In))
 	}
-	d.lastIn = x
-	out := make(Vec, d.Out)
-	w := d.W.Value
-	for o := 0; o < d.Out; o++ {
-		row := w[o*d.In : (o+1)*d.In]
-		var s float64
-		for i, xi := range x {
-			s += row[i] * xi
-		}
-		out[o] = s + d.B.Value[o]
+	return d.ForwardBatchInto(dst, x, 1)
+}
+
+// ForwardBatchInto computes one batched forward pass over bsz row-major
+// samples: x is bsz*In values, the result is bsz*Out values.
+func (d *Dense) ForwardBatchInto(dst, x Vec, bsz int) Vec {
+	if bsz <= 0 || len(x) != bsz*d.In {
+		panic(fmt.Sprintf("nn: Dense.ForwardBatch got %d inputs, want %d x %d", len(x), bsz, d.In))
 	}
-	return out
+	d.inBuf = Ensure(d.inBuf, bsz*d.In)
+	copy(d.inBuf, x)
+	d.lastB = bsz
+	if dst == nil {
+		d.outBuf = Ensure(d.outBuf, bsz*d.Out)
+		dst = d.outBuf
+	}
+	if len(dst) != bsz*d.Out {
+		panic(fmt.Sprintf("nn: Dense.ForwardBatch dst len %d, want %d x %d", len(dst), bsz, d.Out))
+	}
+	denseForward(dst, d.inBuf, d.W.Value, d.B.Value, d.In, d.Out, bsz)
+	return dst
+}
+
+// denseForward computes dst = x·Wᵀ + b for bsz row-major samples. The output
+// rows are tiled so the active block of W stays L1-resident across the batch,
+// and within a tile four output neurons share one streaming pass over the
+// input row (4-way register blocking). Each output keeps its own sequential
+// accumulator, so results are bitwise identical to the naive per-output dot
+// product.
+func denseForward(dst, x, w, b Vec, in, out, bsz int) {
+	// ~16 KB of W per tile, leaving L1 room for the input rows and output;
+	// at least one 4-row microkernel per tile.
+	oblk := 2048 / in
+	oblk -= oblk % 4
+	if oblk < 4 {
+		oblk = 4
+	}
+	for ob := 0; ob < out; ob += oblk {
+		oe := ob + oblk
+		if oe > out {
+			oe = out
+		}
+		for bi := 0; bi < bsz; bi++ {
+			xr := x[bi*in : (bi+1)*in]
+			dr := dst[bi*out : (bi+1)*out]
+			o := ob
+			for ; o+4 <= oe; o += 4 {
+				r0 := w[o*in : (o+1)*in]
+				r1 := w[(o+1)*in : (o+2)*in]
+				r2 := w[(o+2)*in : (o+3)*in]
+				r3 := w[(o+3)*in : (o+4)*in]
+				var s0, s1, s2, s3 float64
+				for i, xi := range xr {
+					s0 += r0[i] * xi
+					s1 += r1[i] * xi
+					s2 += r2[i] * xi
+					s3 += r3[i] * xi
+				}
+				dr[o] = s0 + b[o]
+				dr[o+1] = s1 + b[o+1]
+				dr[o+2] = s2 + b[o+2]
+				dr[o+3] = s3 + b[o+3]
+			}
+			for ; o < oe; o++ {
+				row := w[o*in : (o+1)*in]
+				var s float64
+				for i, xi := range xr {
+					s += row[i] * xi
+				}
+				dr[o] = s + b[o]
+			}
+		}
+	}
 }
 
 // Backward accumulates dL/dW and dL/db and returns dL/dx.
 func (d *Dense) Backward(grad Vec) Vec {
-	if len(grad) != d.Out {
-		panic(fmt.Sprintf("nn: Dense.Backward got %d grads, want %d", len(grad), d.Out))
-	}
-	if d.lastIn == nil {
+	return d.BackwardInto(make(Vec, d.lastB*d.In), grad)
+}
+
+// BackwardInto accumulates parameter gradients and writes dL/dx into dst
+// (nil selects a layer-owned buffer). After a batched forward, grad must
+// carry one row per batch sample and dst receives one input-gradient row per
+// sample.
+func (d *Dense) BackwardInto(dst, grad Vec) Vec {
+	if d.lastB == 0 {
 		panic("nn: Dense.Backward before Forward")
 	}
-	x := d.lastIn
-	gw := d.W.Grad
-	gin := make(Vec, d.In)
-	w := d.W.Value
-	for o, g := range grad {
+	return d.BackwardBatchInto(dst, grad, d.lastB)
+}
+
+// BackwardBatchInto is the batched backward kernel: grad holds bsz rows of
+// output gradients; parameter gradients accumulate summed over rows and dst
+// receives bsz rows of input gradients.
+func (d *Dense) BackwardBatchInto(dst, grad Vec, bsz int) Vec {
+	if d.lastB != bsz {
+		panic(fmt.Sprintf("nn: Dense.BackwardBatch bsz %d, forward saw %d", bsz, d.lastB))
+	}
+	if len(grad) != bsz*d.Out {
+		panic(fmt.Sprintf("nn: Dense.Backward got %d grads, want %d x %d", len(grad), bsz, d.Out))
+	}
+	if dst == nil {
+		d.ginBuf = Ensure(d.ginBuf, bsz*d.In)
+		dst = d.ginBuf
+	}
+	if len(dst) != bsz*d.In {
+		panic(fmt.Sprintf("nn: Dense.BackwardBatch dst len %d, want %d x %d", len(dst), bsz, d.In))
+	}
+	if bsz == 1 {
+		denseBackwardRow(dst, grad, d.inBuf, d.W.Value, d.W.Grad, d.B.Grad, d.In, d.Out)
+		return dst
+	}
+	d.accumBatchGrads(grad, bsz)
+	d.inputGradBatch(dst, grad, bsz)
+	return dst
+}
+
+// BackwardBatchParams accumulates parameter gradients for a batch without
+// computing input gradients. It is meant for a network's first layer, whose
+// input is data rather than an upstream activation, so dL/dx is never
+// consumed — eliding it removes a full matrix-matrix product from the
+// backward pass.
+func (d *Dense) BackwardBatchParams(grad Vec, bsz int) {
+	if d.lastB != bsz {
+		panic(fmt.Sprintf("nn: Dense.BackwardBatch bsz %d, forward saw %d", bsz, d.lastB))
+	}
+	if len(grad) != bsz*d.Out {
+		panic(fmt.Sprintf("nn: Dense.Backward got %d grads, want %d x %d", len(grad), bsz, d.Out))
+	}
+	d.accumBatchGrads(grad, bsz)
+}
+
+// denseBackwardRow is the exact-order single-sample backward: parameter
+// gradients accumulate element-wise in output order, bitwise identical to
+// the pre-batch scalar path. Zero output-gradients skip their row entirely,
+// which the sparse dueling backward in internal/dfp relies on.
+func denseBackwardRow(gin, grad, x, w, gw, gb Vec, in, out int) {
+	gi := gin[:in]
+	Fill(gi, 0)
+	for o, g := range grad[:out] {
 		if g == 0 {
 			continue
 		}
-		d.B.Grad[o] += g
-		row := w[o*d.In : (o+1)*d.In]
-		grow := gw[o*d.In : (o+1)*d.In]
-		for i, xi := range x {
-			grow[i] += g * xi
-			gin[i] += g * row[i]
+		gb[o] += g
+		row := w[o*in : (o+1)*in]
+		grow := gw[o*in : (o+1)*in]
+		i := 0
+		for ; i+4 <= in; i += 4 {
+			grow[i] += g * x[i]
+			grow[i+1] += g * x[i+1]
+			grow[i+2] += g * x[i+2]
+			grow[i+3] += g * x[i+3]
+			gi[i] += g * row[i]
+			gi[i+1] += g * row[i+1]
+			gi[i+2] += g * row[i+2]
+			gi[i+3] += g * row[i+3]
+		}
+		for ; i < in; i++ {
+			grow[i] += g * x[i]
+			gi[i] += g * row[i]
 		}
 	}
-	return gin
+}
+
+// accumBatchGrads performs gb += Σ_rows grad and gw += gradᵀ·x with 4-way
+// sample blocking: four samples' rank-1 updates merge into one streaming
+// pass over each weight-gradient row, quartering the gw load/store traffic
+// that dominates the naive per-sample backward.
+func (d *Dense) accumBatchGrads(grad Vec, bsz int) {
+	in, out := d.In, d.Out
+	gw, gb := d.W.Grad, d.B.Grad
+	x := d.inBuf
+	for o := 0; o < out; o++ {
+		var s float64
+		for b := 0; b < bsz; b++ {
+			s += grad[b*out+o]
+		}
+		gb[o] += s
+	}
+	b0 := 0
+	for ; b0+8 <= bsz; b0 += 8 {
+		g0r := grad[b0*out : (b0+1)*out]
+		g1r := grad[(b0+1)*out : (b0+2)*out]
+		g2r := grad[(b0+2)*out : (b0+3)*out]
+		g3r := grad[(b0+3)*out : (b0+4)*out]
+		g4r := grad[(b0+4)*out : (b0+5)*out]
+		g5r := grad[(b0+5)*out : (b0+6)*out]
+		g6r := grad[(b0+6)*out : (b0+7)*out]
+		g7r := grad[(b0+7)*out : (b0+8)*out]
+		x0 := x[b0*in : (b0+1)*in]
+		x1 := x[(b0+1)*in : (b0+2)*in]
+		x2 := x[(b0+2)*in : (b0+3)*in]
+		x3 := x[(b0+3)*in : (b0+4)*in]
+		x4 := x[(b0+4)*in : (b0+5)*in]
+		x5 := x[(b0+5)*in : (b0+6)*in]
+		x6 := x[(b0+6)*in : (b0+7)*in]
+		x7 := x[(b0+7)*in : (b0+8)*in]
+		for o := 0; o < out; o++ {
+			g0, g1, g2, g3 := g0r[o], g1r[o], g2r[o], g3r[o]
+			g4, g5, g6, g7 := g4r[o], g5r[o], g6r[o], g7r[o]
+			if g0 == 0 && g1 == 0 && g2 == 0 && g3 == 0 &&
+				g4 == 0 && g5 == 0 && g6 == 0 && g7 == 0 {
+				// Masked temporal offsets zero whole gradient columns; skip
+				// the row entirely (the sparse dueling backward relies on
+				// the same property sample-wise).
+				continue
+			}
+			grow := gw[o*in : (o+1)*in]
+			for i := range grow {
+				grow[i] += g0*x0[i] + g1*x1[i] + g2*x2[i] + g3*x3[i] +
+					g4*x4[i] + g5*x5[i] + g6*x6[i] + g7*x7[i]
+			}
+		}
+	}
+	for ; b0+4 <= bsz; b0 += 4 {
+		g0r := grad[b0*out : (b0+1)*out]
+		g1r := grad[(b0+1)*out : (b0+2)*out]
+		g2r := grad[(b0+2)*out : (b0+3)*out]
+		g3r := grad[(b0+3)*out : (b0+4)*out]
+		x0 := x[b0*in : (b0+1)*in]
+		x1 := x[(b0+1)*in : (b0+2)*in]
+		x2 := x[(b0+2)*in : (b0+3)*in]
+		x3 := x[(b0+3)*in : (b0+4)*in]
+		for o := 0; o < out; o++ {
+			g0, g1, g2, g3 := g0r[o], g1r[o], g2r[o], g3r[o]
+			if g0 == 0 && g1 == 0 && g2 == 0 && g3 == 0 {
+				continue
+			}
+			grow := gw[o*in : (o+1)*in]
+			for i := range grow {
+				grow[i] += g0*x0[i] + g1*x1[i] + g2*x2[i] + g3*x3[i]
+			}
+		}
+	}
+	for ; b0 < bsz; b0++ {
+		gr := grad[b0*out : (b0+1)*out]
+		xr := x[b0*in : (b0+1)*in]
+		for o, g := range gr {
+			if g == 0 {
+				continue
+			}
+			grow := gw[o*in : (o+1)*in]
+			for i := range grow {
+				grow[i] += g * xr[i]
+			}
+		}
+	}
+}
+
+// inputGradBatch computes gin = grad·W through a freshly transposed weight
+// copy: with Wᵀ stored in x out, each input gradient is a sequential dot
+// product, and 4-way sample blocking reuses every Wᵀ row across four
+// samples from registers. The transpose costs one in·out pass per batched
+// backward — 1/bsz of the product it accelerates.
+func (d *Dense) inputGradBatch(gin, grad Vec, bsz int) {
+	in, out := d.In, d.Out
+	w := d.W.Value
+	d.wtBuf = Ensure(d.wtBuf, in*out)
+	wt := d.wtBuf
+	// 32x32 tiles keep both the read rows and the strided write columns
+	// cache-resident during the transpose.
+	const tile = 32
+	for ot := 0; ot < out; ot += tile {
+		oe := ot + tile
+		if oe > out {
+			oe = out
+		}
+		for it := 0; it < in; it += tile {
+			ie := it + tile
+			if ie > in {
+				ie = in
+			}
+			for o := ot; o < oe; o++ {
+				row := w[o*in : (o+1)*in]
+				for i := it; i < ie; i++ {
+					wt[i*out+o] = row[i]
+				}
+			}
+		}
+	}
+	b0 := 0
+	for ; b0+4 <= bsz; b0 += 4 {
+		g0r := grad[b0*out : (b0+1)*out]
+		g1r := grad[(b0+1)*out : (b0+2)*out]
+		g2r := grad[(b0+2)*out : (b0+3)*out]
+		g3r := grad[(b0+3)*out : (b0+4)*out]
+		gi0 := gin[b0*in : (b0+1)*in]
+		gi1 := gin[(b0+1)*in : (b0+2)*in]
+		gi2 := gin[(b0+2)*in : (b0+3)*in]
+		gi3 := gin[(b0+3)*in : (b0+4)*in]
+		for i := 0; i < in; i++ {
+			wti := wt[i*out : (i+1)*out]
+			var a0, a1, a2, a3 float64
+			for o, wv := range wti {
+				a0 += g0r[o] * wv
+				a1 += g1r[o] * wv
+				a2 += g2r[o] * wv
+				a3 += g3r[o] * wv
+			}
+			gi0[i] = a0
+			gi1[i] = a1
+			gi2[i] = a2
+			gi3[i] = a3
+		}
+	}
+	for ; b0 < bsz; b0++ {
+		gr := grad[b0*out : (b0+1)*out]
+		gi := gin[b0*in : (b0+1)*in]
+		for i := 0; i < in; i++ {
+			wti := wt[i*out : (i+1)*out]
+			var a float64
+			for o, wv := range wti {
+				a += gr[o] * wv
+			}
+			gi[i] = a
+		}
+	}
 }
 
 // Params returns the weight and bias parameters.
@@ -89,3 +380,5 @@ func (d *Dense) OutSize(in int) int {
 	}
 	return d.Out
 }
+
+var _ BatchLayer = (*Dense)(nil)

@@ -5,14 +5,46 @@
 // fully-connected (Dense) layers, 1-D convolution and pooling (for the CNN
 // state-module ablation of Figure 3), leaky-rectifier activations, softmax,
 // mean-squared-error and policy-gradient losses, SGD/Adam optimizers, and
-// weight (de)serialization. Layers operate on single samples ([]float64);
-// batching is performed by looping and accumulating gradients, which is both
-// simple and fast enough for the layer sizes used in the paper (the largest
-// is 11410 -> 4000).
+// weight (de)serialization.
 //
 // All layers implement the Layer interface. Backward must be called after
 // Forward on the same input; it accumulates parameter gradients and returns
 // the gradient with respect to the layer input, so arbitrary directed
-// compositions (such as DFP's three-branch, two-stream topology) can be wired
-// by hand in higher-level packages.
+// compositions (such as DFP's three-branch, two-stream topology) can be
+// wired by hand in higher-level packages.
+//
+// # Execution engine
+//
+// Three API tiers trade convenience for throughput:
+//
+//   - Layer (Forward/Backward) is the allocating single-sample path: every
+//     call returns a fresh slice. Simple, and the arithmetic reference for
+//     everything below.
+//
+//   - BufferedLayer (ForwardInto/BackwardInto) runs the same arithmetic
+//     through caller-provided or lazily-grown layer-owned scratch buffers:
+//     zero heap allocations in steady state. Buffered layers also copy (or
+//     avoid retaining) their forward input, so callers may reuse their input
+//     buffers between Forward and Backward — the allocating API wraps this
+//     path.
+//
+//   - BatchLayer (ForwardBatchInto/BackwardBatchInto) processes a minibatch
+//     of B row-major samples per call. Dense implements these as
+//     cache-blocked, register-unrolled matrix-matrix kernels: the forward
+//     tiles weight rows to stay L1-resident across the batch with a 4-wide
+//     output microkernel, the weight-gradient accumulation merges 8 samples'
+//     rank-1 updates into one streaming pass, and the input gradient runs
+//     through a per-call transposed weight copy so every dot product is
+//     sequential. Sequential composes batch kernels across layers and
+//     Batched adapts any other Layer per-row, so whole networks run batched.
+//
+// For data-parallel training, SharedClone replicates a network so that the
+// replica shares parameter Values with the original but owns private
+// gradient buffers and forward state — each worker accumulates into its own
+// gradients, which the caller reduces before the optimizer step
+// (internal/dfp does this across Config.Workers goroutines).
+//
+// Equivalence between all tiers is enforced by property tests
+// (batch_test.go): identical outputs and ≤1e-12 gradient agreement across
+// randomized shapes, plus finite-difference checks on the batched kernels.
 package nn

@@ -38,6 +38,37 @@ type Layer interface {
 	OutSize(in int) int
 }
 
+// BufferedLayer is a Layer whose forward and backward passes can run without
+// heap allocation in steady state. ForwardInto/BackwardInto write their
+// result into dst and return it; passing dst == nil selects a lazily-grown
+// layer-owned scratch buffer, which stays valid until the next call on the
+// same layer and must be treated as read-only — a layer may route its
+// backward pass through the returned buffer (LeakyReLU routes on the output
+// sign), so mutating it corrupts gradients. Buffered layers copy (or avoid
+// retaining) their forward input, so callers may freely reuse or mutate the
+// input slice between Forward and Backward.
+//
+// Forward and Backward on the allocating Layer interface remain available as
+// thin wrappers that allocate a fresh result.
+type BufferedLayer interface {
+	Layer
+	ForwardInto(dst, x Vec) Vec
+	BackwardInto(dst, grad Vec) Vec
+}
+
+// BatchLayer is a BufferedLayer that additionally processes a minibatch of
+// bsz row-major samples in one call: x holds bsz rows of the layer's input
+// width back to back, and the result holds bsz rows of the output width.
+// One batched call replaces bsz scalar calls, amortizing loop overhead and
+// (for Dense) turning matrix-vector products into blocked matrix-matrix
+// kernels. BackwardBatchInto must follow a ForwardBatchInto with the same
+// bsz; parameter gradients accumulate summed over the batch rows.
+type BatchLayer interface {
+	BufferedLayer
+	ForwardBatchInto(dst, x Vec, bsz int) Vec
+	BackwardBatchInto(dst, grad Vec, bsz int) Vec
+}
+
 // Init is a weight-initialization scheme.
 type Init int
 

@@ -27,10 +27,18 @@ func MSE(pred, target Vec) (loss float64, grad Vec) {
 // output slots of the action actually taken, so the remaining action slots
 // must be masked out of the loss.
 func MaskedMSE(pred, target Vec, mask []bool) (loss float64, grad Vec) {
-	if len(pred) != len(target) || len(pred) != len(mask) {
-		panic(fmt.Sprintf("nn: MaskedMSE length mismatch %d/%d/%d", len(pred), len(target), len(mask)))
-	}
 	grad = make(Vec, len(pred))
+	loss = MaskedMSEInto(grad, pred, target, mask)
+	return loss, grad
+}
+
+// MaskedMSEInto is MaskedMSE writing the gradient into grad (which must have
+// pred's length) and returning the loss — the zero-allocation variant used
+// by the batched training engine.
+func MaskedMSEInto(grad, pred, target Vec, mask []bool) (loss float64) {
+	if len(pred) != len(target) || len(pred) != len(mask) || len(grad) != len(pred) {
+		panic(fmt.Sprintf("nn: MaskedMSE length mismatch %d/%d/%d/%d", len(grad), len(pred), len(target), len(mask)))
+	}
 	n := 0
 	for _, m := range mask {
 		if m {
@@ -38,18 +46,20 @@ func MaskedMSE(pred, target Vec, mask []bool) (loss float64, grad Vec) {
 		}
 	}
 	if n == 0 {
-		return 0, grad
+		Fill(grad, 0)
+		return 0
 	}
 	fn := float64(n)
 	for i := range pred {
 		if !mask[i] {
+			grad[i] = 0
 			continue
 		}
 		d := pred[i] - target[i]
 		loss += d * d
 		grad[i] = 2 * d / fn
 	}
-	return loss / fn, grad
+	return loss / fn
 }
 
 // NLLGrad returns the policy-gradient loss contribution -advantage*log(p[a])

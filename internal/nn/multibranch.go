@@ -29,6 +29,10 @@ type MultiBranch struct {
 	InSize   int
 	Branches []Branch
 	outSizes []int
+
+	gatherBufs [][]float64 // per-branch gathered-input scratch
+	outBuf     Vec
+	ginBuf     Vec
 }
 
 // NewMultiBranch validates the branch geometry against the input size.
@@ -47,34 +51,84 @@ func NewMultiBranch(inSize int, branches ...Branch) *MultiBranch {
 
 // Forward gathers each branch's ranges, runs its net, and concatenates.
 func (m *MultiBranch) Forward(x Vec) Vec {
+	return m.ForwardInto(make(Vec, m.OutSize(len(x))), x)
+}
+
+// ForwardInto gathers each branch's ranges into layer-owned scratch buffers,
+// runs each branch net (writing directly into the branch's slice of dst),
+// and returns the concatenation. dst == nil selects a layer-owned buffer.
+func (m *MultiBranch) ForwardInto(dst, x Vec) Vec {
 	if len(x) != m.InSize {
 		panic(fmt.Sprintf("nn: MultiBranch.Forward got %d inputs, want %d", len(x), m.InSize))
 	}
-	var out Vec
-	for _, b := range m.Branches {
-		in := make(Vec, 0, b.inSize())
-		for _, r := range b.Ranges {
-			in = append(in, x[r[0]:r[1]]...)
-		}
-		out = append(out, b.Net.Forward(in)...)
+	total := 0
+	for _, n := range m.outSizes {
+		total += n
 	}
-	return out
+	if dst == nil {
+		m.outBuf = Ensure(m.outBuf, total)
+		dst = m.outBuf
+	}
+	if len(dst) != total {
+		panic(fmt.Sprintf("nn: MultiBranch dst len %d, want %d", len(dst), total))
+	}
+	if m.gatherBufs == nil {
+		m.gatherBufs = make([][]float64, len(m.Branches))
+	}
+	off := 0
+	for i := range m.Branches {
+		b := &m.Branches[i]
+		in := Ensure(m.gatherBufs[i], b.inSize())
+		m.gatherBufs[i] = in
+		pos := 0
+		for _, r := range b.Ranges {
+			pos += copy(in[pos:], x[r[0]:r[1]])
+		}
+		d := dst[off : off+m.outSizes[i]]
+		if bl, ok := b.Net.(BufferedLayer); ok {
+			bl.ForwardInto(d, in)
+		} else {
+			copy(d, b.Net.Forward(in))
+		}
+		off += m.outSizes[i]
+	}
+	return dst
 }
 
 // Backward splits the output gradient per branch and scatter-adds each
 // branch's input gradient back into the shared input positions.
 func (m *MultiBranch) Backward(grad Vec) Vec {
-	gin := make(Vec, m.InSize)
+	return m.BackwardInto(make(Vec, m.InSize), grad)
+}
+
+// BackwardInto is the scratch-buffer backward; dst == nil selects a
+// layer-owned buffer. dst is zeroed before the scatter-add, since ranges may
+// overlap between branches.
+func (m *MultiBranch) BackwardInto(dst, grad Vec) Vec {
+	if dst == nil {
+		m.ginBuf = Ensure(m.ginBuf, m.InSize)
+		dst = m.ginBuf
+	}
+	if len(dst) != m.InSize {
+		panic(fmt.Sprintf("nn: MultiBranch dst len %d, want %d", len(dst), m.InSize))
+	}
+	Fill(dst, 0)
 	off := 0
-	for i, b := range m.Branches {
+	for i := range m.Branches {
+		b := &m.Branches[i]
 		g := grad[off : off+m.outSizes[i]]
 		off += m.outSizes[i]
-		gBranch := b.Net.Backward(g)
+		var gBranch Vec
+		if bl, ok := b.Net.(BufferedLayer); ok {
+			gBranch = bl.BackwardInto(nil, g)
+		} else {
+			gBranch = b.Net.Backward(g)
+		}
 		pos := 0
 		for _, r := range b.Ranges {
 			n := r[1] - r[0]
 			for k := 0; k < n; k++ {
-				gin[r[0]+k] += gBranch[pos+k]
+				dst[r[0]+k] += gBranch[pos+k]
 			}
 			pos += n
 		}
@@ -82,7 +136,7 @@ func (m *MultiBranch) Backward(grad Vec) Vec {
 	if off != len(grad) {
 		panic(fmt.Sprintf("nn: MultiBranch.Backward got %d grads, want %d", len(grad), off))
 	}
-	return gin
+	return dst
 }
 
 // Params returns all branches' parameters.
@@ -106,4 +160,4 @@ func (m *MultiBranch) OutSize(in int) int {
 	return total
 }
 
-var _ Layer = (*MultiBranch)(nil)
+var _ BufferedLayer = (*MultiBranch)(nil)

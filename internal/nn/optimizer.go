@@ -60,11 +60,14 @@ func NewAdam(lr float64) *Adam {
 	}
 }
 
-// Step implements Optimizer.
+// Step implements Optimizer. The inner loop hoists the bias corrections
+// into reciprocal multiplies and fuses gradient zeroing, leaving one
+// unavoidable sqrt+divide per element.
 func (o *Adam) Step(params []*Param) {
 	o.t++
-	b1c := 1 - math.Pow(o.Beta1, float64(o.t))
-	b2c := 1 - math.Pow(o.Beta2, float64(o.t))
+	invB1c := 1 / (1 - math.Pow(o.Beta1, float64(o.t)))
+	invB2c := 1 / (1 - math.Pow(o.Beta2, float64(o.t)))
+	a1, a2 := 1-o.Beta1, 1-o.Beta2
 	for _, p := range params {
 		m := o.m[p]
 		v := o.v[p]
@@ -73,15 +76,53 @@ func (o *Adam) Step(params []*Param) {
 			v = make(Vec, len(p.Value))
 			o.m[p], o.v[p] = m, v
 		}
-		for i := range p.Value {
-			g := p.Grad[i]
-			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
-			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
-			mh := m[i] / b1c
-			vh := v[i] / b2c
-			p.Value[i] -= o.LR * mh / (math.Sqrt(vh) + o.Eps)
+		grad, val := p.Grad, p.Value
+		for i := range val {
+			g := grad[i]
+			grad[i] = 0 // fused ZeroGrad: saves a second pass over Grad
+			mi := o.Beta1*m[i] + a1*g
+			vi := o.Beta2*v[i] + a2*g*g
+			m[i] = mi
+			v[i] = vi
+			val[i] -= o.LR * (mi * invB1c) / (math.Sqrt(vi*invB2c) + o.Eps)
 		}
-		p.ZeroGrad()
+	}
+}
+
+// StepScaled applies one Adam update treating each parameter's effective
+// gradient as scale*Grad, clipped to maxNorm when maxNorm > 0 — folding
+// what would otherwise be two extra passes (Scale, ClipGrads) into the
+// update loop. It matches Scale+ClipGrads+Step to floating-point
+// reassociation.
+func (o *Adam) StepScaled(params []*Param, scale, maxNorm float64) {
+	o.t++
+	invB1c := 1 / (1 - math.Pow(o.Beta1, float64(o.t)))
+	invB2c := 1 / (1 - math.Pow(o.Beta2, float64(o.t)))
+	a1, a2 := 1-o.Beta1, 1-o.Beta2
+	for _, p := range params {
+		m := o.m[p]
+		v := o.v[p]
+		if m == nil {
+			m = make(Vec, len(p.Value))
+			v = make(Vec, len(p.Value))
+			o.m[p], o.v[p] = m, v
+		}
+		f := scale
+		if maxNorm > 0 {
+			if n := scale * L2Norm(p.Grad); n > maxNorm && n > 0 {
+				f = scale * (maxNorm / n)
+			}
+		}
+		grad, val := p.Grad, p.Value
+		for i := range val {
+			g := grad[i] * f
+			grad[i] = 0
+			mi := o.Beta1*m[i] + a1*g
+			vi := o.Beta2*v[i] + a2*g*g
+			m[i] = mi
+			v[i] = vi
+			val[i] -= o.LR * (mi * invB1c) / (math.Sqrt(vi*invB2c) + o.Eps)
+		}
 	}
 }
 

@@ -26,6 +26,17 @@ func Fill(v Vec, x float64) {
 	}
 }
 
+// Ensure returns a slice of length n, reusing buf's storage when it has the
+// capacity and allocating otherwise. Contents are unspecified; callers that
+// need zeros must Fill. It is the growth primitive behind every scratch
+// buffer in this package: after warm-up, Ensure never allocates.
+func Ensure(buf Vec, n int) Vec {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make(Vec, n)
+}
+
 // Dot returns the inner product of a and b. It panics if lengths differ.
 func Dot(a, b Vec) float64 {
 	if len(a) != len(b) {
@@ -120,32 +131,53 @@ func Softmax(v Vec) Vec {
 	if len(v) == 0 {
 		return nil
 	}
+	out := make(Vec, len(v))
+	SoftmaxInto(out, v)
+	return out
+}
+
+// SoftmaxInto writes the stable softmax of v into dst (same length, may
+// alias v) without allocating.
+func SoftmaxInto(dst, v Vec) {
+	if len(dst) != len(v) {
+		panic(fmt.Sprintf("nn: SoftmaxInto length mismatch %d vs %d", len(dst), len(v)))
+	}
+	if len(v) == 0 {
+		return
+	}
 	max := v[0]
 	for _, x := range v[1:] {
 		if x > max {
 			max = x
 		}
 	}
-	out := make(Vec, len(v))
 	var sum float64
 	for i, x := range v {
 		e := math.Exp(x - max)
-		out[i] = e
+		dst[i] = e
 		sum += e
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
 }
 
-// L2Norm returns the Euclidean norm of v.
+// L2Norm returns the Euclidean norm of v. Four parallel accumulators hide
+// the floating-point add latency on the long gradient vectors the optimizer
+// clips every step.
 func L2Norm(v Vec) float64 {
-	var s float64
-	for _, x := range v {
-		s += x * x
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		s0 += v[i] * v[i]
+		s1 += v[i+1] * v[i+1]
+		s2 += v[i+2] * v[i+2]
+		s3 += v[i+3] * v[i+3]
 	}
-	return math.Sqrt(s)
+	for ; i < len(v); i++ {
+		s0 += v[i] * v[i]
+	}
+	return math.Sqrt(s0 + s1 + s2 + s3)
 }
 
 // ClipNorm rescales v in place so its L2 norm does not exceed max.
