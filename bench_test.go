@@ -19,10 +19,12 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/dfp"
 	"repro/internal/encode"
 	"repro/internal/experiments"
 	"repro/internal/job"
+	"repro/internal/rollout"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -493,6 +495,70 @@ func BenchmarkDecisionLatency(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		agent.Act(state, meas, goal, 10, false)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// internal/rollout — parallel episode collection. Sub-benchmarks fix the
+// worker count; episodes/sec is the comparison axis. StepsPerEpisode=-1
+// disables gradient steps so the measurement isolates rollout+ingest — the
+// part of the training loop the harness parallelizes (gradient steps scale
+// separately via dfp.Config.Workers). Greedy exploration (eps=0) makes
+// every decision pay the full forward pass, the realistic steady state.
+
+func episodeThroughputAgent(sys cluster.Config) *core.MRSch {
+	return core.New(sys, core.Options{
+		Window:  8,
+		Seed:    11,
+		Workers: 1,
+		Mutate: func(c *dfp.Config) {
+			c.StateHidden = []int{64, 32}
+			c.StateOut = 32
+			c.ModuleHidden = 16
+			c.StreamHidden = 32
+			c.Offsets = []int{1, 2, 4, 8}
+			c.TemporalWeights = []float64{0, 0.5, 0.5, 1}
+			c.EpsStart = 0
+			c.EpsMin = 0
+		},
+	})
+}
+
+func episodeThroughputSets(sys cluster.Config) []core.JobSet {
+	base := workload.GenerateBase(workload.GeneratorConfig{
+		System: sys, Duration: 0.5 * 86400, MeanInterarrival: 120, Seed: 9,
+	})
+	pool := workload.AssignDarshanBB(base, sys.Capacities[1], 10)
+	scn, _ := workload.ScenarioByName("S4")
+	var sets []core.JobSet
+	for i, jobs := range workload.SampledSets(base, 8, 40, 12) {
+		sets = append(sets, core.JobSet{
+			Kind: core.Sampled,
+			Jobs: workload.Apply(jobs, pool, scn, sys, 13+int64(i)),
+		})
+	}
+	return sets
+}
+
+func BenchmarkEpisodeThroughput(b *testing.B) {
+	sys := workload.ThetaScaled(32)
+	sets := episodeThroughputSets(sys)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			agent := episodeThroughputAgent(sys)
+			learner := rollout.NewMRSchLearner(agent, core.TrainConfig{
+				System:          sys,
+				StepsPerEpisode: -1, // pure collection
+			})
+			cfg := rollout.Config{Workers: workers, Seed: 7}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rollout.Train(learner, cfg, sets); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(sets))*float64(b.N)/b.Elapsed().Seconds(), "episodes/sec")
+		})
 	}
 }
 

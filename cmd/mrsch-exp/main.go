@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	mrsch-exp [-scale quick|standard|tiny] [-fig all|1|3|4|5|6|7|8|9|10]
+//	mrsch-exp [-scale quick|standard|tiny] [-fig all|1|3|4|5|6|7|8|9|10|sweep] [-parallel 4]
+//
+// -parallel N runs training rollouts and sweep evaluation episodes on N
+// simulator environments concurrently (0 = all CPU cores). The "sweep"
+// figure fans the full S1-S10 x method scenario grid across the same worker
+// pool. Results are reproducible for any fixed N (see internal/rollout).
 package main
 
 import (
@@ -21,8 +26,9 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick, standard, or tiny")
-	figFlag := flag.String("fig", "all", "comma-separated figures to run: 1,3,4,5,6,7,8,9,10 or all")
+	figFlag := flag.String("fig", "all", "comma-separated figures to run: 1,3,4,5,6,7,8,9,10,sweep or all")
 	seed := flag.Int64("seed", 0, "override campaign seed (0 keeps the scale default)")
+	parallel := flag.Int("parallel", 1, "parallel rollout environments (0 = all CPU cores)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -45,10 +51,11 @@ func main() {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
+	sc.RolloutWorkers = *parallel
 
 	want := map[string]bool{}
 	if *figFlag == "all" {
-		for _, f := range []string{"1", "3", "4", "5", "6", "7", "8", "9", "10", "ablations"} {
+		for _, f := range []string{"1", "3", "4", "5", "6", "7", "8", "9", "10", "ablations", "sweep"} {
 			want[f] = true
 		}
 	} else {
@@ -133,6 +140,14 @@ func main() {
 			fail(err)
 		}
 		experiments.FprintFigure10(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want["sweep"] {
+		results, err := experiments.RunSweep(c.M, experiments.SweepGrid(nil), sc.RolloutWorkers)
+		if err != nil {
+			fail(err)
+		}
+		experiments.FprintSweep(os.Stdout, results)
 		fmt.Println()
 	}
 	if want["ablations"] {

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	mrsch-train -workload S4 [-scale quick|standard] [-out mrsch-s4.model]
+//	mrsch-train -workload S4 [-scale quick|standard] [-parallel 4] [-out mrsch-s4.model]
+//
+// -parallel N collects training episodes from N simulator environments
+// concurrently (0 = all CPU cores) through the internal/rollout harness;
+// results are bitwise reproducible for any fixed N (see the rollout package
+// documentation for the determinism contract).
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/rollout"
 )
 
 func main() {
@@ -22,6 +28,7 @@ func main() {
 	out := flag.String("out", "", "weights output file (default mrsch-<workload>.model)")
 	cnn := flag.Bool("cnn", false, "use the CNN state module (Figure 3 ablation)")
 	validate := flag.Bool("validate", false, "keep the best weights by validation score (§IV-A protocol)")
+	parallel := flag.Int("parallel", 1, "parallel rollout environments (0 = all CPU cores)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -35,9 +42,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	sc.RolloutWorkers = *parallel
+
 	m := experiments.Prepare(sc)
-	fmt.Printf("training MRSch on %s (scale %s: Theta/%d, %d sets x %d jobs per kind)\n",
-		*wl, sc.Name, sc.Div, sc.SetsPerKind, sc.SetSize)
+	fmt.Printf("training MRSch on %s (scale %s: Theta/%d, %d sets x %d jobs per kind, %d rollout workers)\n",
+		*wl, sc.Name, sc.Div, sc.SetsPerKind, sc.SetSize, rollout.ResolveWorkers(sc.RolloutWorkers))
 	var agent *core.MRSch
 	var results []core.EpisodeResult
 	var err error

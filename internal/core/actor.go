@@ -1,0 +1,65 @@
+package core
+
+import (
+	"repro/internal/dfp"
+	"repro/internal/encode"
+	"repro/internal/sched"
+)
+
+// MRSchActor is a read-only rollout clone of an MRSch agent: it encodes
+// states and computes the Eq. (1) goal vector exactly like the master's Pick,
+// but acts through a dfp.Actor whose networks alias the master's weights
+// while all mutable state (forward caches, exploration rng, episode record)
+// is private. Multiple concurrency-safe actors may roll out episodes in
+// parallel against one master, provided the master's weights are not updated
+// until the rollouts finish — internal/rollout's round barrier guarantees
+// that. Actors do not update LastGoal or invoke GoalHook; those observation
+// hooks belong to the master's analysis paths (Figures 8/9).
+type MRSchActor struct {
+	enc       encode.Config
+	ac        *dfp.Actor
+	fixedGoal []float64
+}
+
+// Actor returns a rollout actor for the agent. The second result reports
+// whether the actor is safe to run concurrently with other actors; it is
+// false when a custom state module cannot be replicated by nn.SharedClone,
+// in which case the actor borrows the master's own layers and must be the
+// only one in use.
+func (m *MRSch) Actor() (*MRSchActor, bool) {
+	ac, parallel := m.Agent.Actor()
+	return &MRSchActor{enc: m.Enc, ac: ac, fixedGoal: m.FixedGoal}, parallel
+}
+
+var _ sched.Picker = (*MRSchActor)(nil)
+
+// Reset prepares the actor for one episode: a fresh exploration rng at the
+// given seed, the episode's epsilon (see dfp.Config.EpsilonAt), and an empty
+// transcript.
+func (a *MRSchActor) Reset(seed int64, eps float64) { a.ac.Reset(seed, eps) }
+
+// Pick implements sched.Picker with the master's decision logic in
+// exploration mode: encode the state, compute the dynamic goal vector, and
+// let the DFP actor choose (and record) a window job.
+func (a *MRSchActor) Pick(ctx *sched.PickContext) int {
+	state := a.enc.Encode(ctx)
+	goal := a.fixedGoal
+	if goal == nil {
+		goal = GoalVector(ctx)
+	}
+	return a.ac.Act(state, ctx.Usage, goal, len(ctx.Window))
+}
+
+// Policy wraps the actor in the shared window/reservation/backfilling driver
+// with the master's window size.
+func (a *MRSchActor) Policy() *sched.WindowPolicy {
+	return sched.NewWindowPolicy(a, a.enc.Window)
+}
+
+// TakeTranscript detaches the episode recorded since the last Reset.
+func (a *MRSchActor) TakeTranscript() *dfp.Transcript { return a.ac.TakeTranscript() }
+
+// Ingest folds an actor-collected episode into the agent's replay buffer and
+// decays its exploration schedule — the actor-path counterpart of the
+// EndEpisode call in TrainEpisode.
+func (m *MRSch) Ingest(t *dfp.Transcript) { m.Agent.IngestTranscript(t) }

@@ -67,44 +67,82 @@ type SelectionConfig struct {
 	Every      int
 }
 
+// Selection tracks the §IV-A model-selection protocol across a training
+// run: every Every episodes the agent is scored greedily on the validation
+// workload and the best-scoring weights are snapshotted; Finish restores
+// them. It is the single implementation of the protocol, consumed by the
+// serial TrainCurriculumWithSelection below and, as an AfterEpisode hook,
+// by the parallel rollout harness (experiments.TrainMRSchValidated) —
+// rollout calls the hook between rounds, when the weights are stable.
+type Selection struct {
+	m          *MRSch
+	sys        cluster.Config
+	validation []*job.Job
+	every      int
+
+	best        ValidationMetrics
+	bestWeights []byte
+}
+
+// NewSelection prepares the protocol for one training run. every <= 0 means
+// validate after every episode.
+func NewSelection(m *MRSch, sys cluster.Config, validation []*job.Job, every int) *Selection {
+	if every <= 0 {
+		every = 1
+	}
+	return &Selection{m: m, sys: sys, validation: validation, every: every}
+}
+
+// AfterEpisode scores the agent when episode i completes a validation
+// interval and snapshots the weights on a new best score. Its signature
+// matches the rollout harness's AfterEpisode hook.
+func (s *Selection) AfterEpisode(i int, _ EpisodeResult) error {
+	if len(s.validation) == 0 || (i+1)%s.every != 0 {
+		return nil
+	}
+	vm, err := Validate(s.m, s.sys, s.validation)
+	if err != nil {
+		return err
+	}
+	if s.bestWeights == nil || vm.Score > s.best.Score {
+		s.best = vm
+		var buf bytes.Buffer
+		if err := s.m.Save(&buf); err != nil {
+			return err
+		}
+		s.bestWeights = buf.Bytes()
+	}
+	return nil
+}
+
+// Finish restores the best-scoring weights (when any validation ran) and
+// returns the best metrics observed.
+func (s *Selection) Finish() (ValidationMetrics, error) {
+	if s.bestWeights != nil {
+		if err := s.m.Load(bytes.NewReader(s.bestWeights)); err != nil {
+			return s.best, err
+		}
+	}
+	return s.best, nil
+}
+
 // TrainCurriculumWithSelection trains over the ordered job sets while
 // tracking validation score, and restores the best-scoring weights at the
 // end — the paper's §IV-A protocol. It returns the per-episode results and
 // the best validation metrics observed.
 func TrainCurriculumWithSelection(m *MRSch, cfg SelectionConfig, sets []JobSet) ([]EpisodeResult, ValidationMetrics, error) {
-	every := cfg.Every
-	if every <= 0 {
-		every = 1
-	}
-	var best ValidationMetrics
-	var bestWeights []byte
+	sel := NewSelection(m, cfg.System, cfg.Validation, cfg.Every)
 	results := make([]EpisodeResult, 0, len(sets))
 	for i, set := range sets {
 		r, err := TrainEpisode(m, cfg.TrainConfig, set)
 		if err != nil {
-			return results, best, fmt.Errorf("core: selection episode %d: %w", i, err)
+			return results, sel.best, fmt.Errorf("core: selection episode %d: %w", i, err)
 		}
 		results = append(results, r)
-		if len(cfg.Validation) == 0 || (i+1)%every != 0 {
-			continue
-		}
-		vm, err := Validate(m, cfg.System, cfg.Validation)
-		if err != nil {
-			return results, best, err
-		}
-		if bestWeights == nil || vm.Score > best.Score {
-			best = vm
-			var buf bytes.Buffer
-			if err := m.Save(&buf); err != nil {
-				return results, best, err
-			}
-			bestWeights = buf.Bytes()
+		if err := sel.AfterEpisode(i, r); err != nil {
+			return results, sel.best, err
 		}
 	}
-	if bestWeights != nil {
-		if err := m.Load(bytes.NewReader(bestWeights)); err != nil {
-			return results, best, err
-		}
-	}
-	return results, best, nil
+	best, err := sel.Finish()
+	return results, best, err
 }

@@ -1,0 +1,237 @@
+// Parallel-rollout support. An Actor is a read-only inference clone of an
+// Agent: its networks alias the master's weight Values (via nn.SharedClone)
+// while its forward caches, scratch buffers, exploration rng, and episode
+// record are private. Any number of actors may therefore run epsilon-greedy
+// episodes concurrently against one set of weights, as long as nothing
+// updates those weights until the rollouts finish — the synchronization
+// contract internal/rollout's round barrier provides. Collected episodes are
+// handed back to the master as opaque Transcripts and folded into the replay
+// buffer with Agent.IngestTranscript, which reproduces EndEpisode's
+// experience construction exactly.
+package dfp
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// modules groups the five networks of the DFP architecture: the three input
+// modules and the two dueling streams.
+type modules struct {
+	state nn.Layer
+	meas  *nn.Sequential
+	goal  *nn.Sequential
+	exp   *nn.Sequential // joint -> PredDim
+	act   *nn.Sequential // joint -> Actions*PredDim
+}
+
+// all returns the networks in the canonical parameter order (state, meas,
+// goal, exp, act) — the order Agent.params, Save, and Load rely on.
+func (m *modules) all() []nn.Layer {
+	return []nn.Layer{m.state, m.meas, m.goal, m.exp, m.act}
+}
+
+// sharedClone returns a replica whose parameters alias the receiver's weight
+// Values but whose gradients and forward state are private. It reports false
+// when a custom state module cannot be replicated by nn.SharedClone.
+func (m *modules) sharedClone() (modules, bool) {
+	stateC, ok := nn.SharedClone(m.state)
+	if !ok {
+		return modules{}, false
+	}
+	measC, _ := nn.SharedClone(m.meas)
+	goalC, _ := nn.SharedClone(m.goal)
+	expC, _ := nn.SharedClone(m.exp)
+	actC, _ := nn.SharedClone(m.act)
+	return modules{
+		state: stateC,
+		meas:  measC.(*nn.Sequential),
+		goal:  goalC.(*nn.Sequential),
+		exp:   expC.(*nn.Sequential),
+		act:   actC.(*nn.Sequential),
+	}, true
+}
+
+// inferScratch owns the buffers of one zero-allocation inference pass.
+// Every holder of a modules value pairs it with its own inferScratch, so
+// forward passes never share mutable state across goroutines.
+type inferScratch struct {
+	goalExt     nn.Vec
+	joint       nn.Vec
+	exp         nn.Vec
+	act         nn.Vec
+	meanA       nn.Vec
+	predBacking nn.Vec
+	predRows    [][]float64
+	score       nn.Vec
+}
+
+// forwardDueling runs the full network through the provided scratch buffers
+// and returns per-action prediction rows aliasing the scratch backing array
+// (valid until the next call with the same scratch). Zero heap allocations
+// in steady state. The layers retain forward state, so a single-sample
+// backward may follow immediately (the master agent's reference path).
+func (m *modules) forwardDueling(cfg *Config, s *inferScratch, state, meas, goalExt []float64) [][]float64 {
+	so, h := cfg.StateOut, cfg.ModuleHidden
+	pd, n := cfg.PredDim(), cfg.Actions
+	jd := so + 2*h
+
+	s.joint = nn.Ensure(s.joint, jd)
+	forwardInto1(m.state, s.joint[:so], state)
+	forwardInto1(m.meas, s.joint[so:so+h], meas)
+	forwardInto1(m.goal, s.joint[so+h:], goalExt)
+
+	s.exp = nn.Ensure(s.exp, pd)
+	s.act = nn.Ensure(s.act, n*pd)
+	exp := m.exp.ForwardInto(s.exp, s.joint)
+	act := m.act.ForwardInto(s.act, s.joint)
+
+	// Dueling combine: p_a = E + A_a - mean_a(A).
+	s.meanA = nn.Ensure(s.meanA, pd)
+	meanA := s.meanA
+	nn.Fill(meanA, 0)
+	for ai := 0; ai < n; ai++ {
+		row := act[ai*pd : (ai+1)*pd]
+		for k, v := range row {
+			meanA[k] += v
+		}
+	}
+	for k := range meanA {
+		meanA[k] /= float64(n)
+	}
+	s.predBacking = nn.Ensure(s.predBacking, n*pd)
+	if len(s.predRows) != n {
+		s.predRows = make([][]float64, n)
+	}
+	for ai := 0; ai < n; ai++ {
+		row := act[ai*pd : (ai+1)*pd]
+		p := s.predBacking[ai*pd : (ai+1)*pd]
+		for k := range p {
+			p[k] = exp[k] + row[k] - meanA[k]
+		}
+		s.predRows[ai] = p
+	}
+	return s.predRows
+}
+
+// forwardInto1 runs one module's scratch-buffer forward, falling back to the
+// allocating path for layers outside this package's substrate.
+func forwardInto1(l nn.Layer, dst, x []float64) {
+	if bl, ok := l.(nn.BufferedLayer); ok {
+		bl.ForwardInto(dst, x)
+		return
+	}
+	copy(dst, l.Forward(x))
+}
+
+// scoreInto collapses predictions into one scalar objective per action: the
+// dot product of the extended goal with each action's prediction.
+func scoreInto(dst []float64, preds [][]float64, goalExt []float64) []float64 {
+	for i, p := range preds {
+		dst[i] = nn.Dot(goalExt, p)
+	}
+	return dst
+}
+
+// Actor is a read-only rollout clone of an Agent. It always acts in
+// exploration mode (the epsilon-greedy policy of §IV-C) and records every
+// decision; the recorded episode is retrieved with TakeTranscript and folded
+// into the master with Agent.IngestTranscript. Reset it with the episode's
+// deterministic seed and exploration rate before each rollout.
+//
+// An Actor is not safe for concurrent use by multiple goroutines, but
+// distinct concurrency-safe actors (see Agent.Actor) may run concurrently
+// with each other — not with TrainStep, which updates the shared weights.
+type Actor struct {
+	cfg  *Config
+	nets modules
+	scr  inferScratch
+
+	rng   *rand.Rand
+	eps   float64
+	steps []*stepRecord
+}
+
+// Actor returns a rollout actor for the agent. The second result reports
+// whether the actor is safe to run concurrently with other actors: when a
+// custom StateModule cannot be replicated by nn.SharedClone, the returned
+// actor borrows the master's own layers and must be the only actor in use
+// (internal/rollout falls back to serial collection in that case).
+func (a *Agent) Actor() (*Actor, bool) {
+	nets, ok := a.nets.sharedClone()
+	if !ok {
+		nets = a.nets
+	}
+	return &Actor{
+		cfg:  &a.cfg,
+		nets: nets,
+		rng:  rand.New(rand.NewSource(a.cfg.Seed)),
+		eps:  a.eps,
+	}, ok
+}
+
+// Reset prepares the actor for one episode: a fresh rng at the given seed,
+// the episode's exploration rate (see Config.EpsilonAt), and an empty
+// transcript.
+func (ac *Actor) Reset(seed int64, eps float64) {
+	ac.rng = rand.New(rand.NewSource(seed))
+	ac.eps = eps
+	ac.steps = nil
+}
+
+// Act selects an action among the first valid actions under the actor's
+// epsilon-greedy policy and records the decision. It consumes the actor's
+// rng exactly like the master's training-mode Act consumes the agent rng:
+// one Float64 per decision plus one Intn when exploring.
+func (ac *Actor) Act(state, meas, goal []float64, valid int) int {
+	if valid <= 0 || valid > ac.cfg.Actions {
+		valid = ac.cfg.Actions
+	}
+	ac.scr.goalExt = nn.Ensure(ac.scr.goalExt, ac.cfg.GoalDim())
+	goalExt := ac.cfg.extendGoalInto(ac.scr.goalExt, goal)
+	var action int
+	if ac.rng.Float64() < ac.eps {
+		action = ac.rng.Intn(valid)
+	} else {
+		ac.scr.score = nn.Ensure(ac.scr.score, ac.cfg.Actions)
+		scores := scoreInto(ac.scr.score, ac.nets.forwardDueling(ac.cfg, &ac.scr, state, meas, goalExt), goalExt)
+		action = nn.ArgMax(scores[:valid])
+	}
+	ac.steps = append(ac.steps, &stepRecord{
+		state:  append([]float64(nil), state...),
+		meas:   append([]float64(nil), meas...),
+		goal:   append([]float64(nil), goalExt...),
+		action: action,
+		valid:  valid,
+	})
+	return action
+}
+
+// Steps returns the number of decisions recorded since the last Reset or
+// TakeTranscript.
+func (ac *Actor) Steps() int { return len(ac.steps) }
+
+// Transcript is one episode's recorded decisions, opaque to callers. It is
+// produced by Actor.TakeTranscript and consumed by Agent.IngestTranscript.
+type Transcript struct {
+	steps []*stepRecord
+}
+
+// Len returns the number of recorded decisions.
+func (t *Transcript) Len() int { return len(t.steps) }
+
+// TakeTranscript detaches and returns the episode recorded so far, leaving
+// the actor empty for the next rollout.
+func (ac *Actor) TakeTranscript() *Transcript {
+	t := &Transcript{steps: ac.steps}
+	ac.steps = nil
+	return t
+}
+
+// IngestTranscript folds an actor-collected episode into the replay buffer
+// and decays epsilon, exactly as EndEpisode does for episodes recorded by
+// the master agent itself.
+func (a *Agent) IngestTranscript(t *Transcript) {
+	a.ingest(t.steps)
+}

@@ -172,11 +172,13 @@ func (c *Config) validate() error {
 type Agent struct {
 	cfg Config
 
-	stateNet nn.Layer
-	measNet  *nn.Sequential
-	goalNet  *nn.Sequential
-	expNet   *nn.Sequential // joint -> PredDim
-	actNet   *nn.Sequential // joint -> Actions*PredDim
+	// nets holds the five networks; scr the inference scratch. Act and
+	// Predict run entirely through these agent-owned buffers, so a
+	// steady-state Act performs zero heap allocations (§V-F decision-latency
+	// requirement). Rollout actors (actor.go) pair SharedClone replicas of
+	// nets with their own scratch.
+	nets modules
+	scr  inferScratch
 
 	params []*nn.Param
 	opt    *nn.Adam
@@ -187,18 +189,6 @@ type Agent struct {
 	episode []*stepRecord
 
 	trainSteps int
-
-	// Inference scratch: Act and Predict run entirely through these
-	// agent-owned buffers, so a steady-state Act performs zero heap
-	// allocations (§V-F decision-latency requirement).
-	goalExtBuf  nn.Vec
-	jointBuf    nn.Vec
-	expBuf      nn.Vec
-	actBuf      nn.Vec
-	meanABuf    nn.Vec
-	predBacking nn.Vec
-	predRows    [][]float64
-	scoreBuf    nn.Vec
 
 	// Training engine state (engine.go).
 	workers  []*trainWorker
@@ -226,28 +216,28 @@ func New(cfg Config) *Agent {
 		eps:    cfg.EpsStart,
 		replay: newReplay(cfg.ReplayCap),
 	}
-	a.stateNet = buildStateModule(&cfg, rng)
+	a.nets.state = buildStateModule(&cfg, rng)
 	h := cfg.ModuleHidden
-	a.measNet = nn.NewSequential(cfg.Measurements,
+	a.nets.meas = nn.NewSequential(cfg.Measurements,
 		nn.NewDense(cfg.Measurements, h, nn.HeInit, rng), nn.NewLeakyReLU(0.01),
 		nn.NewDense(h, h, nn.HeInit, rng), nn.NewLeakyReLU(0.01),
 		nn.NewDense(h, h, nn.HeInit, rng),
 	)
-	a.goalNet = nn.NewSequential(cfg.GoalDim(),
+	a.nets.goal = nn.NewSequential(cfg.GoalDim(),
 		nn.NewDense(cfg.GoalDim(), h, nn.HeInit, rng), nn.NewLeakyReLU(0.01),
 		nn.NewDense(h, h, nn.HeInit, rng), nn.NewLeakyReLU(0.01),
 		nn.NewDense(h, h, nn.HeInit, rng),
 	)
 	jointDim := cfg.StateOut + 2*h
-	a.expNet = nn.NewSequential(jointDim,
+	a.nets.exp = nn.NewSequential(jointDim,
 		nn.NewDense(jointDim, cfg.StreamHidden, nn.HeInit, rng), nn.NewLeakyReLU(0.01),
 		nn.NewDense(cfg.StreamHidden, cfg.PredDim(), nn.XavierInit, rng),
 	)
-	a.actNet = nn.NewSequential(jointDim,
+	a.nets.act = nn.NewSequential(jointDim,
 		nn.NewDense(jointDim, cfg.StreamHidden, nn.HeInit, rng), nn.NewLeakyReLU(0.01),
 		nn.NewDense(cfg.StreamHidden, cfg.Actions*cfg.PredDim(), nn.XavierInit, rng),
 	)
-	for _, net := range []nn.Layer{a.stateNet, a.measNet, a.goalNet, a.expNet, a.actNet} {
+	for _, net := range a.nets.all() {
 		a.params = append(a.params, net.Params()...)
 	}
 	a.opt = nn.NewAdam(cfg.LR)
@@ -287,6 +277,22 @@ func (a *Agent) Config() Config { return a.cfg }
 // Epsilon returns the current exploration rate.
 func (a *Agent) Epsilon() float64 { return a.eps }
 
+// EpsilonAt returns the exploration rate in effect for 0-based episode i of
+// a training run: EpsStart decayed i times, floored at EpsMin after every
+// decay — exactly the value Epsilon reports after i EndEpisode (or
+// IngestTranscript) calls. Rollout actors are reset with this value so a
+// parallel harness reproduces the serial exploration schedule.
+func (c *Config) EpsilonAt(episode int) float64 {
+	eps := c.EpsStart
+	for i := 0; i < episode; i++ {
+		eps *= c.EpsDecay
+		if eps < c.EpsMin {
+			eps = c.EpsMin
+		}
+	}
+	return eps
+}
+
 // NumParams returns the number of learnable scalars across all modules.
 func (a *Agent) NumParams() int {
 	n := 0
@@ -300,17 +306,18 @@ func (a *Agent) NumParams() int {
 // offsets using the configured temporal weights, producing the network's
 // goal input (and the scoring weights for action selection).
 func (a *Agent) ExtendGoal(goal []float64) []float64 {
-	return a.extendGoalInto(make([]float64, a.cfg.GoalDim()), goal)
+	return a.cfg.extendGoalInto(make([]float64, a.cfg.GoalDim()), goal)
 }
 
-// extendGoalInto is the zero-allocation ExtendGoal used by Act.
-func (a *Agent) extendGoalInto(dst, goal []float64) []float64 {
-	if len(goal) != a.cfg.Measurements {
-		panic(fmt.Sprintf("dfp: goal has %d entries, want %d", len(goal), a.cfg.Measurements))
+// extendGoalInto is the zero-allocation ExtendGoal used by Act (agent and
+// actor alike).
+func (c *Config) extendGoalInto(dst, goal []float64) []float64 {
+	if len(goal) != c.Measurements {
+		panic(fmt.Sprintf("dfp: goal has %d entries, want %d", len(goal), c.Measurements))
 	}
 	i := 0
-	for k := range a.cfg.Offsets {
-		w := a.cfg.TemporalWeights[k]
+	for k := range c.Offsets {
+		w := c.TemporalWeights[k]
 		for _, g := range goal {
 			dst[i] = w * g
 			i++
@@ -323,57 +330,10 @@ func (a *Agent) extendGoalInto(dst, goal []float64) []float64 {
 // and returns per-action prediction rows aliasing an internal backing array
 // (valid until the next forwardScratch). Zero heap allocations in steady
 // state. The layers retain forward state for the single-sample backward.
+// The shared implementation (modules.forwardDueling, actor.go) also serves
+// rollout actors with their own scratch.
 func (a *Agent) forwardScratch(state, meas, goalExt []float64) [][]float64 {
-	so, h := a.cfg.StateOut, a.cfg.ModuleHidden
-	pd, n := a.cfg.PredDim(), a.cfg.Actions
-	jd := so + 2*h
-
-	a.jointBuf = nn.Ensure(a.jointBuf, jd)
-	forwardInto1(a.stateNet, a.jointBuf[:so], state)
-	forwardInto1(a.measNet, a.jointBuf[so:so+h], meas)
-	forwardInto1(a.goalNet, a.jointBuf[so+h:], goalExt)
-
-	a.expBuf = nn.Ensure(a.expBuf, pd)
-	a.actBuf = nn.Ensure(a.actBuf, n*pd)
-	exp := a.expNet.ForwardInto(a.expBuf, a.jointBuf)
-	act := a.actNet.ForwardInto(a.actBuf, a.jointBuf)
-
-	// Dueling combine: p_a = E + A_a - mean_a(A).
-	a.meanABuf = nn.Ensure(a.meanABuf, pd)
-	meanA := a.meanABuf
-	nn.Fill(meanA, 0)
-	for ai := 0; ai < n; ai++ {
-		row := act[ai*pd : (ai+1)*pd]
-		for k, v := range row {
-			meanA[k] += v
-		}
-	}
-	for k := range meanA {
-		meanA[k] /= float64(n)
-	}
-	a.predBacking = nn.Ensure(a.predBacking, n*pd)
-	if len(a.predRows) != n {
-		a.predRows = make([][]float64, n)
-	}
-	for ai := 0; ai < n; ai++ {
-		row := act[ai*pd : (ai+1)*pd]
-		p := a.predBacking[ai*pd : (ai+1)*pd]
-		for k := range p {
-			p[k] = exp[k] + row[k] - meanA[k]
-		}
-		a.predRows[ai] = p
-	}
-	return a.predRows
-}
-
-// forwardInto1 runs one module's scratch-buffer forward, falling back to the
-// allocating path for layers outside this package's substrate.
-func forwardInto1(l nn.Layer, dst, x []float64) {
-	if bl, ok := l.(nn.BufferedLayer); ok {
-		bl.ForwardInto(dst, x)
-		return
-	}
-	copy(dst, l.Forward(x))
+	return a.nets.forwardDueling(&a.cfg, &a.scr, state, meas, goalExt)
 }
 
 // forward runs the full network and returns freshly-allocated per-action
@@ -382,12 +342,12 @@ func forwardInto1(l nn.Layer, dst, x []float64) {
 // paths use forwardScratch. The layers retain forward state, so
 // backwardFromPredGrads may be called immediately afterwards.
 func (a *Agent) forward(state, meas, goalExt []float64) [][]float64 {
-	js := a.stateNet.Forward(state)
-	jm := a.measNet.Forward(meas)
-	jg := a.goalNet.Forward(goalExt)
+	js := a.nets.state.Forward(state)
+	jm := a.nets.meas.Forward(meas)
+	jg := a.nets.goal.Forward(goalExt)
 	joint := nn.Concat(js, jm, jg)
-	exp := a.expNet.Forward(joint)
-	act := a.actNet.Forward(joint)
+	exp := a.nets.exp.Forward(joint)
+	act := a.nets.act.Forward(joint)
 
 	pd := a.cfg.PredDim()
 	// Dueling combine: p_a = E + A_a - mean_a(A).
@@ -438,15 +398,15 @@ func (a *Agent) backwardFromPredGrads(grads [][]float64) {
 		}
 	}
 
-	gJointExp := a.expNet.Backward(gradExp)
-	gJointAct := a.actNet.Backward(gradAct)
+	gJointExp := a.nets.exp.Backward(gradExp)
+	gJointAct := a.nets.act.Backward(gradAct)
 	gJoint := nn.Add(gJointExp, gJointAct)
 
 	so := a.cfg.StateOut
 	h := a.cfg.ModuleHidden
-	a.stateNet.Backward(gJoint[:so])
-	a.measNet.Backward(gJoint[so : so+h])
-	a.goalNet.Backward(gJoint[so+h:])
+	a.nets.state.Backward(gJoint[:so])
+	a.nets.meas.Backward(gJoint[so : so+h])
+	a.nets.goal.Backward(gJoint[so+h:])
 }
 
 // Predict returns the per-action predicted future-measurement changes for
@@ -465,14 +425,7 @@ func (a *Agent) Predict(state, meas, goalExt []float64) [][]float64 {
 // Score collapses predictions into one scalar objective per action:
 // the dot product of the extended goal with each action's prediction.
 func (a *Agent) Score(preds [][]float64, goalExt []float64) []float64 {
-	return a.scoreInto(make([]float64, len(preds)), preds, goalExt)
-}
-
-func (a *Agent) scoreInto(dst []float64, preds [][]float64, goalExt []float64) []float64 {
-	for i, p := range preds {
-		dst[i] = nn.Dot(goalExt, p)
-	}
-	return dst
+	return scoreInto(make([]float64, len(preds)), preds, goalExt)
 }
 
 // Act selects an action among the first valid actions. In training mode it
@@ -484,14 +437,14 @@ func (a *Agent) Act(state, meas, goal []float64, valid int, train bool) int {
 	if valid <= 0 || valid > a.cfg.Actions {
 		valid = a.cfg.Actions
 	}
-	a.goalExtBuf = nn.Ensure(a.goalExtBuf, a.cfg.GoalDim())
-	goalExt := a.extendGoalInto(a.goalExtBuf, goal)
+	a.scr.goalExt = nn.Ensure(a.scr.goalExt, a.cfg.GoalDim())
+	goalExt := a.cfg.extendGoalInto(a.scr.goalExt, goal)
 	var action int
 	if train && a.rng.Float64() < a.eps {
 		action = a.rng.Intn(valid)
 	} else {
-		a.scoreBuf = nn.Ensure(a.scoreBuf, a.cfg.Actions)
-		scores := a.scoreInto(a.scoreBuf, a.forwardScratch(state, meas, goalExt), goalExt)
+		a.scr.score = nn.Ensure(a.scr.score, a.cfg.Actions)
+		scores := scoreInto(a.scr.score, a.forwardScratch(state, meas, goalExt), goalExt)
 		action = nn.ArgMax(scores[:valid])
 	}
 	if train {
@@ -509,10 +462,15 @@ func (a *Agent) Act(state, meas, goal []float64, valid int, train bool) int {
 // EndEpisode converts the recorded episode into replay experiences: for each
 // step, the target is the realized measurement change at every temporal
 // offset, with offsets that run past the episode end masked out. It then
-// decays epsilon.
+// decays epsilon. Actor-collected episodes go through the same logic via
+// IngestTranscript (actor.go).
 func (a *Agent) EndEpisode() {
 	steps := a.episode
 	a.episode = nil
+	a.ingest(steps)
+}
+
+func (a *Agent) ingest(steps []*stepRecord) {
 	pd := a.cfg.PredDim()
 	m := a.cfg.Measurements
 	for t, st := range steps {

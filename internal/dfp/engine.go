@@ -79,13 +79,13 @@ func (a *Agent) ensureWorkers() {
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
 	}
-	trunk, head := splitActStream(a.actNet)
+	trunk, head := splitActStream(a.nets.act)
 	a.workers = []*trainWorker{{
 		a:        a,
-		stateNet: nn.Batched(a.stateNet),
-		measNet:  a.measNet,
-		goalNet:  a.goalNet,
-		expNet:   a.expNet,
+		stateNet: nn.Batched(a.nets.state),
+		measNet:  a.nets.meas,
+		goalNet:  a.nets.goal,
+		expNet:   a.nets.exp,
 		trunk:    trunk,
 		head:     head,
 	}}
@@ -99,26 +99,21 @@ func (a *Agent) ensureWorkers() {
 }
 
 func (a *Agent) newReplicaWorker() (*trainWorker, bool) {
-	stateC, ok := nn.SharedClone(a.stateNet)
+	nets, ok := a.nets.sharedClone()
 	if !ok {
 		return nil, false
 	}
-	measC, _ := nn.SharedClone(a.measNet)
-	goalC, _ := nn.SharedClone(a.goalNet)
-	expC, _ := nn.SharedClone(a.expNet)
-	actC, _ := nn.SharedClone(a.actNet)
-	actSeq := actC.(*nn.Sequential)
-	trunk, head := splitActStream(actSeq)
+	trunk, head := splitActStream(nets.act)
 	tw := &trainWorker{
 		a:        a,
-		stateNet: nn.Batched(stateC),
-		measNet:  measC.(*nn.Sequential),
-		goalNet:  goalC.(*nn.Sequential),
-		expNet:   expC.(*nn.Sequential),
+		stateNet: nn.Batched(nets.state),
+		measNet:  nets.meas,
+		goalNet:  nets.goal,
+		expNet:   nets.exp,
 		trunk:    trunk,
 		head:     head,
 	}
-	for _, net := range []nn.Layer{stateC, measC, goalC, expC, actSeq} {
+	for _, net := range nets.all() {
 		tw.params = append(tw.params, net.Params()...)
 	}
 	return tw, true

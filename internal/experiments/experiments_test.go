@@ -22,6 +22,7 @@ func tinyScale() Scale {
 		StepsPerEpisode:  6,
 		EpsDecay:         0.7,
 		Seed:             5,
+		RolloutWorkers:   1,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/rl"
+	"repro/internal/rollout"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -68,31 +69,43 @@ func NewMRSchUntrained(sc Scale, power bool) *core.MRSch {
 
 // TrainMRSch builds and curriculum-trains an MRSch agent for the scenario,
 // using the paper's best ordering (sampled -> real -> synthetic, §V-B).
+// Episodes are collected through the internal/rollout harness, with
+// Scale.RolloutWorkers simulator environments in parallel.
 func TrainMRSch(m *Materials, scenario string, useCNN bool) (*core.MRSch, []core.EpisodeResult, error) {
 	sys := m.Scale.System()
 	agent := core.New(sys, m.Scale.mrschOptions(m.Scale.Seed+11, useCNN))
 	byKind := m.CurriculumSets(scenario)
 	order := Ordering{core.Sampled, core.Real, core.Synthetic}
-	results, err := core.TrainCurriculum(agent, core.TrainConfig{
+	results, err := rollout.Train(rollout.NewMRSchLearner(agent, core.TrainConfig{
 		System:          sys,
 		StepsPerEpisode: m.Scale.StepsPerEpisode,
-	}, order.Sets(byKind))
+	}), m.Scale.rolloutConfig(), order.Sets(byKind))
 	return agent, results, err
 }
 
 // TrainMRSchValidated curriculum-trains with the §IV-A model-selection
-// protocol: after every episode the agent is scored on the validation
-// workload and the best weights are restored at the end.
+// protocol: every second episode the agent is scored greedily on the
+// validation workload and the best weights are restored at the end. The
+// validation runs hook into the rollout harness between episodes (weights
+// are stable there — no rollouts in flight), so the protocol composes with
+// parallel collection unchanged.
 func TrainMRSchValidated(m *Materials, scenario string) (*core.MRSch, []core.EpisodeResult, core.ValidationMetrics, error) {
 	sys := m.Scale.System()
 	agent := core.New(sys, m.Scale.mrschOptions(m.Scale.Seed+11, false))
 	byKind := m.CurriculumSets(scenario)
 	order := Ordering{core.Sampled, core.Real, core.Synthetic}
-	results, best, err := core.TrainCurriculumWithSelection(agent, core.SelectionConfig{
-		TrainConfig: core.TrainConfig{System: sys, StepsPerEpisode: m.Scale.StepsPerEpisode},
-		Validation:  m.ValidationWorkload(scenario),
-		Every:       2,
-	}, order.Sets(byKind))
+	sel := core.NewSelection(agent, sys, m.ValidationWorkload(scenario), 2)
+
+	cfg := m.Scale.rolloutConfig()
+	cfg.AfterEpisode = sel.AfterEpisode
+	results, err := rollout.Train(rollout.NewMRSchLearner(agent, core.TrainConfig{
+		System:          sys,
+		StepsPerEpisode: m.Scale.StepsPerEpisode,
+	}), cfg, order.Sets(byKind))
+	if err != nil {
+		return agent, results, core.ValidationMetrics{}, err
+	}
+	best, err := sel.Finish()
 	return agent, results, best, err
 }
 
@@ -102,10 +115,10 @@ func TrainMRSchOrdered(m *Materials, scenario string, order Ordering, seed int64
 	sys := m.Scale.System()
 	agent := core.New(sys, m.Scale.mrschOptions(seed, false))
 	byKind := m.CurriculumSets(scenario)
-	return core.TrainCurriculum(agent, core.TrainConfig{
+	return rollout.Train(rollout.NewMRSchLearner(agent, core.TrainConfig{
 		System:          sys,
 		StepsPerEpisode: m.Scale.StepsPerEpisode,
-	}, order.Sets(byKind))
+	}), m.Scale.rolloutConfig(), order.Sets(byKind))
 }
 
 // TrainMRSchPower trains an agent on the three-resource system for an
@@ -115,10 +128,10 @@ func TrainMRSchPower(m *Materials, powerName string) (*core.MRSch, error) {
 	psys := m.Scale.PowerSystem()
 	agent := core.New(psys, m.Scale.mrschOptions(m.Scale.Seed+13, false))
 	sets := m.powerCurriculum(powerName)
-	_, err := core.TrainCurriculum(agent, core.TrainConfig{
+	_, err := rollout.Train(rollout.NewMRSchLearner(agent, core.TrainConfig{
 		System:          psys,
 		StepsPerEpisode: m.Scale.StepsPerEpisode,
-	}, sets)
+	}), m.Scale.rolloutConfig(), sets)
 	return agent, err
 }
 
@@ -150,7 +163,8 @@ func (m *Materials) powerCurriculum(powerName string) []core.JobSet {
 }
 
 // TrainScalarRL trains the fixed-weight policy-gradient baseline on the same
-// sampled sets as MRSch (episode count matched for fairness).
+// sampled sets as MRSch (episode count matched for fairness), through the
+// same rollout harness.
 func TrainScalarRL(m *Materials, scenario string, sys cluster.Config, powerAware bool) (*rl.Scheduler, error) {
 	cfg := rl.DefaultConfig()
 	cfg.Window = m.Scale.Window
@@ -165,17 +179,10 @@ func TrainScalarRL(m *Materials, scenario string, sys cluster.Config, powerAware
 		order := Ordering{core.Sampled, core.Real, core.Synthetic}
 		sets = order.Sets(byKind)
 	}
-	agent.Train = true
-	defer func() { agent.Train = false }()
-	for _, set := range sets {
-		s := sim.New(sys, agent.Policy())
-		if err := s.Load(job.CloneAll(set.Jobs)); err != nil {
-			return nil, fmt.Errorf("experiments: scalar RL training: %w", err)
-		}
-		if err := s.Run(); err != nil {
-			return nil, fmt.Errorf("experiments: scalar RL training: %w", err)
-		}
-		agent.EndEpisode()
+	if _, err := rollout.Train(rollout.NewScalarRLLearner(agent, core.TrainConfig{
+		System: sys,
+	}), m.Scale.rolloutConfig(), sets); err != nil {
+		return nil, fmt.Errorf("experiments: scalar RL training: %w", err)
 	}
 	return agent, nil
 }

@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"repro/internal/cluster"
+	"repro/internal/rollout"
 	"repro/internal/workload"
 )
 
@@ -35,6 +36,19 @@ type Scale struct {
 	EpsDecay float64
 	// Seed roots all randomness.
 	Seed int64
+	// RolloutWorkers is the number of simulator environments the training
+	// harness (internal/rollout) rolls out concurrently; 0 means all CPU
+	// cores (the package-wide rollout.ResolveWorkers convention). The
+	// built-in scales pin it to 1 — the serial-equivalent path that is
+	// deterministic across machines — and the cmd binaries raise it via
+	// -parallel. See the internal/rollout package doc for the determinism
+	// contract.
+	RolloutWorkers int
+}
+
+// rolloutConfig derives the training-harness configuration for the scale.
+func (s Scale) rolloutConfig() rollout.Config {
+	return rollout.Config{Workers: s.RolloutWorkers, Seed: s.Seed + 7}
 }
 
 // QuickScale is the CI-sized campaign used by `go test` and the default
@@ -52,6 +66,7 @@ func QuickScale() Scale {
 		StepsPerEpisode:  32,
 		EpsDecay:         0.78,
 		Seed:             1,
+		RolloutWorkers:   1,
 	}
 }
 
@@ -69,6 +84,7 @@ func StandardScale() Scale {
 		StepsPerEpisode:  32,
 		EpsDecay:         0.88,
 		Seed:             1,
+		RolloutWorkers:   1,
 	}
 }
 

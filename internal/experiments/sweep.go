@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/rollout"
+	"repro/internal/sched"
+)
+
+// This file implements the episode-sweep mode: independent evaluation
+// episodes over the full scenario grid — the Table III burst-buffer ladder
+// S1-S5 on the two-resource Theta variant and the §V-E power-capped S6-S10
+// on the three-resource system — fanned across the same worker pool
+// (internal/rollout) that collects training episodes, so scenario sweeps and
+// training share one engine.
+
+// SweepCell is one evaluation episode of the grid: a workload on its system
+// arity under one scheduling method.
+type SweepCell struct {
+	Workload string // S1-S10
+	Method   string // MethodHeuristic or MethodOptimize
+	Power    bool   // S6-S10: three-resource system with a power budget
+}
+
+// SweepResult pairs a grid cell with its collected §IV-B metrics.
+type SweepResult struct {
+	Cell   SweepCell
+	Report metrics.Report
+}
+
+// SweepGrid enumerates the workload x method grid in deterministic order:
+// every Table III scenario (two-resource mixes), then every power scenario
+// (three-resource mixes), for each of the given training-free methods.
+// Methods defaults to {Heuristic, Optimization} when nil.
+func SweepGrid(methods []string) []SweepCell {
+	if methods == nil {
+		methods = []string{MethodHeuristic, MethodOptimize}
+	}
+	var grid []SweepCell
+	for _, wl := range WorkloadNames() {
+		for _, method := range methods {
+			grid = append(grid, SweepCell{Workload: wl, Method: method})
+		}
+	}
+	for _, wl := range PowerWorkloadNames() {
+		for _, method := range methods {
+			grid = append(grid, SweepCell{Workload: wl, Method: method, Power: true})
+		}
+	}
+	return grid
+}
+
+// RunSweep evaluates every cell of the grid as an independent simulation
+// episode across up to `workers` goroutines (0 = all cores), returning
+// results in grid order. Each cell builds its own policy (seeded by cell
+// index) and workload, so results are identical for every worker count —
+// evaluation episodes, unlike training episodes, share no learner state.
+func RunSweep(m *Materials, grid []SweepCell, workers int) ([]SweepResult, error) {
+	return rollout.Map(workers, grid, func(_, idx int, cell SweepCell) (SweepResult, error) {
+		sys := m.Scale.System()
+		powerIdx := -1
+		if cell.Power {
+			sys = m.Scale.PowerSystem()
+			powerIdx = 2
+		}
+		policy, err := sweepPolicy(m, cell, idx)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		var jobs []*job.Job
+		if cell.Power {
+			jobs = m.PowerWorkload(cell.Workload)
+		} else {
+			jobs = m.Workload(cell.Workload)
+		}
+		rep, err := Evaluate(sys, policy, jobs, cell.Method, cell.Workload, powerIdx)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		return SweepResult{Cell: cell, Report: rep}, nil
+	})
+}
+
+// sweepPolicy builds the cell's scheduling policy. Only training-free
+// methods participate in sweeps; trained agents go through the figure
+// pipelines, which own their training budgets.
+func sweepPolicy(m *Materials, cell SweepCell, idx int) (*sched.WindowPolicy, error) {
+	switch cell.Method {
+	case MethodHeuristic:
+		return FCFSPolicy(m.Scale.Window), nil
+	case MethodOptimize:
+		return sched.NewWindowPolicy(NewGA(m.Scale.Seed+7000+int64(idx)), m.Scale.Window), nil
+	default:
+		return nil, fmt.Errorf("experiments: sweep method %q needs training; use the figure pipelines", cell.Method)
+	}
+}
+
+// FprintSweep renders sweep results as one table row per cell.
+func FprintSweep(w io.Writer, results []SweepResult) {
+	fmt.Fprintln(w, "Scenario sweep — workload x method grid (episode per cell):")
+	fmt.Fprintf(w, "  %-4s %-13s %-5s %9s %9s %8s %9s\n",
+		"wl", "method", "res", "util[0]", "util[1]", "wait(h)", "slowdown")
+	for _, r := range results {
+		res := "2"
+		if r.Cell.Power {
+			res = "3"
+		}
+		fmt.Fprintf(w, "  %-4s %-13s %-5s %9.3f %9.3f %8.2f %9.2f\n",
+			r.Cell.Workload, r.Cell.Method, res,
+			r.Report.Utilization[0], r.Report.Utilization[1],
+			r.Report.AvgWaitHours(), r.Report.AvgSlowdown)
+	}
+}

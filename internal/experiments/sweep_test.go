@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestSweepGridShape(t *testing.T) {
+	grid := SweepGrid(nil)
+	if len(grid) != 20 { // (5 + 5 workloads) x 2 methods
+		t.Fatalf("%d cells, want 20", len(grid))
+	}
+	twoRes, threeRes := 0, 0
+	for _, c := range grid {
+		if c.Power {
+			threeRes++
+		} else {
+			twoRes++
+		}
+	}
+	if twoRes != 10 || threeRes != 10 {
+		t.Fatalf("arity split %d/%d, want 10/10", twoRes, threeRes)
+	}
+}
+
+// Sweep cells are independent evaluation episodes, so the worker count must
+// not change any result — unlike training, where it changes the (equally
+// valid) interleaving.
+func TestSweepIndependentOfWorkerCount(t *testing.T) {
+	m := Prepare(tinyScale())
+	grid := SweepGrid([]string{MethodHeuristic})
+	serial, err := RunSweep(m, grid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep(m, grid, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("sweep results depend on worker count")
+	}
+	for i, r := range serial {
+		if r.Cell != grid[i] {
+			t.Fatalf("result %d out of grid order: %+v", i, r.Cell)
+		}
+		if r.Report.Jobs == 0 {
+			t.Fatalf("%s/%s completed no jobs", r.Cell.Workload, r.Cell.Method)
+		}
+		wantRes := 2
+		if r.Cell.Power {
+			wantRes = 3
+		}
+		if len(r.Report.Utilization) != wantRes {
+			t.Fatalf("%s: %d resources, want %d", r.Cell.Workload, len(r.Report.Utilization), wantRes)
+		}
+	}
+	var buf bytes.Buffer
+	FprintSweep(&buf, serial)
+	if buf.Len() == 0 {
+		t.Fatal("empty sweep rendering")
+	}
+}
+
+func TestSweepRejectsTrainedMethods(t *testing.T) {
+	m := Prepare(tinyScale())
+	_, err := RunSweep(m, []SweepCell{{Workload: "S1", Method: MethodMRSch}}, 1)
+	if err == nil {
+		t.Fatal("sweep accepted a method that needs training")
+	}
+}

@@ -1,0 +1,93 @@
+package rl
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/sched"
+)
+
+// Actor is a read-only rollout clone of a Scheduler: its policy network
+// aliases the master's weights (nn.SharedClone) while its forward caches,
+// sampling rng, and trajectory record are private, so multiple
+// concurrency-safe actors can sample episodes in parallel against one set of
+// weights. Actors always act in training mode (stochastic prefix sampling);
+// the recorded trajectory is handed back with TakeTrajectory and applied to
+// the master with Scheduler.IngestTrajectory.
+type Actor struct {
+	s     *Scheduler // read-only: cfg, enc, reward weights
+	net   *nn.Sequential
+	rng   *rand.Rand
+	steps []step
+}
+
+// Actor returns a rollout actor for the scheduler. The second result reports
+// whether the actor is safe to run concurrently with other actors; when the
+// network cannot be replicated by nn.SharedClone the actor borrows the
+// master's own layers and must be the only one in use.
+func (s *Scheduler) Actor() (*Actor, bool) {
+	c, ok := nn.SharedClone(s.net)
+	if !ok {
+		return &Actor{s: s, net: s.net, rng: rand.New(rand.NewSource(s.cfg.Seed))}, false
+	}
+	return &Actor{s: s, net: c.(*nn.Sequential), rng: rand.New(rand.NewSource(s.cfg.Seed))}, true
+}
+
+var _ sched.Picker = (*Actor)(nil)
+
+// Reset prepares the actor for one episode: a fresh sampling rng at the
+// given seed and an empty trajectory.
+func (a *Actor) Reset(seed int64) {
+	a.rng = rand.New(rand.NewSource(seed))
+	a.steps = nil
+}
+
+// Pick implements sched.Picker with the master's training-mode decision
+// logic: stochastic sampling over the valid window prefix, recording the
+// fixed-weight scalar reward of the selection.
+func (a *Actor) Pick(ctx *sched.PickContext) int {
+	state := a.s.enc.Encode(ctx)
+	probs := a.net.Forward(state)
+	valid := len(ctx.Window)
+	if valid > a.s.cfg.Window {
+		valid = a.s.cfg.Window
+	}
+	action := samplePrefix(probs, valid, a.rng)
+	a.steps = append(a.steps, step{
+		state:  state,
+		action: action,
+		valid:  valid,
+		reward: a.s.reward(ctx, action),
+	})
+	return action
+}
+
+// Policy wraps the actor in the shared scheduling framework with the
+// master's window size.
+func (a *Actor) Policy() *sched.WindowPolicy {
+	return sched.NewWindowPolicy(a, a.s.cfg.Window)
+}
+
+// Trajectory is one episode's recorded decisions, opaque to callers. It is
+// produced by Actor.TakeTrajectory and consumed by Scheduler.IngestTrajectory.
+type Trajectory struct {
+	steps []step
+}
+
+// Len returns the number of recorded decisions.
+func (t *Trajectory) Len() int { return len(t.steps) }
+
+// TakeTrajectory detaches and returns the episode recorded since the last
+// Reset, leaving the actor empty for the next rollout.
+func (a *Actor) TakeTrajectory() *Trajectory {
+	t := &Trajectory{steps: a.steps}
+	a.steps = nil
+	return t
+}
+
+// IngestTrajectory applies one REINFORCE update over an actor-collected
+// episode, exactly as EndEpisode does for episodes recorded by the master
+// itself, and returns the mean policy loss.
+func (s *Scheduler) IngestTrajectory(t *Trajectory) float64 {
+	return s.ingest(t.steps)
+}

@@ -1,0 +1,20 @@
+// Package rl implements the paper's "Scalar RL" comparison method (§IV-D):
+// a policy-gradient (REINFORCE) agent that collapses the multi-resource
+// objective into one scalar reward with fixed weights — 0.5*CPU utilization
+// + 0.5*burst-buffer utilization for two resources, 1/R each in general.
+// It observes the same vector state encoding as MRSch and schedules through
+// the same window/reservation/backfilling framework, so the only difference
+// the experiments measure is fixed versus dynamic resource prioritizing.
+//
+// # Determinism and seeding
+//
+// All stochastic behaviour — weight initialization and training-time action
+// sampling — derives from Config.Seed, so a serial training run is
+// reproducible bit for bit. For parallel episode collection, Scheduler.Actor
+// returns read-only clones whose policy network aliases the master weights
+// (nn.SharedClone) while the sampling rng and trajectory record are private;
+// actors are reseeded per episode and their trajectories applied in episode
+// order by Scheduler.IngestTrajectory. The canonical statement of the
+// per-episode seeding and ordering rules lives in the internal/rollout
+// package documentation.
+package rl

@@ -1,10 +1,3 @@
-// Package rl implements the paper's "Scalar RL" comparison method (§IV-D):
-// a policy-gradient (REINFORCE) agent that collapses the multi-resource
-// objective into one scalar reward with fixed weights — 0.5*CPU utilization
-// + 0.5*burst-buffer utilization for two resources, 1/R each in general.
-// It observes the same vector state encoding as MRSch and schedules through
-// the same window/reservation/backfilling framework, so the only difference
-// the experiments measure is fixed versus dynamic resource prioritizing.
 package rl
 
 import (
@@ -172,9 +165,15 @@ func samplePrefix(probs []float64, valid int, rng *rand.Rand) int {
 
 // EndEpisode applies one REINFORCE update over the recorded episode and
 // clears it. It returns the mean policy loss (0 for an empty episode).
+// Actor-collected episodes go through the same update via IngestTrajectory
+// (actor.go).
 func (s *Scheduler) EndEpisode() float64 {
 	steps := s.episode
 	s.episode = nil
+	return s.ingest(steps)
+}
+
+func (s *Scheduler) ingest(steps []step) float64 {
 	n := len(steps)
 	if n == 0 {
 		return 0

@@ -1,0 +1,49 @@
+// Package rollout is the parallel episode-collection harness: it runs N
+// independent sim.Simulator environments across worker goroutines and feeds
+// the collected transitions to the batched trainers (internal/dfp for MRSch,
+// internal/rl for the scalar baseline). Training campaigns and scenario
+// sweeps (Map) share one worker-pool engine, so wall-clock scales with cores
+// wherever episodes are independent.
+//
+// # The determinism and seeding contract
+//
+// This is the canonical statement of the repo-wide reproducibility rules;
+// the sim, sched, core, dfp, rl, and workload package docs cross-reference
+// it rather than restating it.
+//
+//  1. Episode identity, not worker identity, drives randomness. Episode i
+//     explores through a private rng seeded EpisodeSeed(Config.Seed, i) and
+//     acts at the exploration rate of schedule slot i
+//     (dfp.Config.EpsilonAt). Which worker goroutine happens to run the
+//     episode is irrelevant to its transcript.
+//
+//  2. Reduction happens in episode order. Rollouts proceed in rounds of
+//     Config.Workers episodes collected concurrently against the weight
+//     snapshot at round start; at the round barrier the transcripts are
+//     folded into the learner in ascending episode index on a single
+//     goroutine. Replay-buffer contents, gradient arithmetic, and optimizer
+//     steps are therefore a pure function of (seed, worker count).
+//
+//  3. Fixed (seed, workers) ⇒ bitwise-identical runs: the same
+//     core.EpisodeResult stream and the same final network weights, run
+//     after run, machine after machine (modulo dfp.Config.Workers, which
+//     shards gradient summation and has the same pin-it-explicitly rule).
+//
+//  4. Workers=1 reproduces TrainSerial, the retained inline reference loop,
+//     exactly — the analogue of dfp.TrainStepReference for the batched
+//     training engine. Different worker counts produce different (equally
+//     valid) interleavings of collection and training, because a round of k
+//     episodes shares the weights from its start; they are each individually
+//     reproducible but not equal to one another.
+//
+//  5. The simulator itself is deterministic and free of wall-clock or map
+//     iteration effects (see internal/sim), so an episode's transcript is a
+//     pure function of its job set, the policy weights, and the episode rng.
+//
+// The serial paths retained elsewhere (core.TrainCurriculum and the
+// training-mode Act of dfp.Agent/rl.Scheduler) draw exploration and replay
+// sampling from one shared agent rng; the harness instead gives each episode
+// its own stream (rule 1) so episode transcripts cannot depend on collection
+// order. The two designs produce different but statistically equivalent
+// runs; harness results are self-consistent under rules 3-4.
+package rollout

@@ -1,0 +1,80 @@
+package rollout
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dfp"
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+// mrschLearner adapts an MRSch agent to the harness: actors are
+// core.MRSchActor clones sharing the master weights, Reduce ingests each
+// transcript into the replay buffer and runs the per-episode gradient steps.
+type mrschLearner struct {
+	m    *core.MRSch
+	cfg  core.TrainConfig
+	acfg dfp.Config // snapshot of the agent config (epsilon schedule)
+}
+
+// NewMRSchLearner adapts an MRSch agent for Train/TrainSerial. cfg follows
+// core.TrainConfig semantics with one extension: StepsPerEpisode < 0 runs no
+// gradient steps at all (pure episode collection, used by the throughput
+// benchmark), while 0 keeps the package default of 16.
+func NewMRSchLearner(m *core.MRSch, cfg core.TrainConfig) Learner {
+	return &mrschLearner{m: m, cfg: cfg, acfg: m.Agent.Config()}
+}
+
+func (l *mrschLearner) Spawn() (Actor, bool) {
+	a, parallel := l.m.Actor()
+	return &mrschActor{l: l, a: a}, parallel
+}
+
+func (l *mrschLearner) Reduce(ep Episode, tr Transcript) (core.EpisodeResult, error) {
+	t, ok := tr.(*dfp.Transcript)
+	if !ok {
+		return core.EpisodeResult{}, fmt.Errorf("rollout: MRSch reduce got %T", tr)
+	}
+	l.m.Ingest(t)
+	steps := l.cfg.StepsPerEpisode
+	if steps == 0 {
+		steps = 16
+	}
+	total, n := 0.0, 0
+	for i := 0; i < steps; i++ {
+		if loss := l.m.Agent.TrainStep(); loss >= 0 {
+			total += loss
+			n++
+		}
+	}
+	res := core.EpisodeResult{Set: ep.Set.Kind, Epsilon: l.m.Agent.Epsilon(), Loss: -1}
+	if n > 0 {
+		res.Loss = total / float64(n)
+	}
+	return res, nil
+}
+
+type mrschActor struct {
+	l *mrschLearner
+	a *core.MRSchActor
+}
+
+// Rollout replays the job set through a fresh simulator with the actor
+// exploring at the episode's slot in the epsilon schedule, so the
+// exploration stream depends only on (harness seed, episode index) — never
+// on which worker runs the episode or how many workers exist.
+func (w *mrschActor) Rollout(ep Episode) (Transcript, error) {
+	w.a.Reset(ep.Seed, w.l.acfg.EpsilonAt(ep.Index))
+	s := sim.New(w.l.cfg.System, w.a.Policy())
+	if w.l.cfg.MaxEventsPerEpisode > 0 {
+		s.SetMaxEvents(w.l.cfg.MaxEventsPerEpisode)
+	}
+	if err := s.Load(job.CloneAll(ep.Set.Jobs)); err != nil {
+		return nil, err
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	return w.a.TakeTranscript(), nil
+}

@@ -1,0 +1,240 @@
+package rollout
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Config tunes the harness.
+type Config struct {
+	// Workers is the number of simulator environments rolled out
+	// concurrently. 0 or negative uses runtime.GOMAXPROCS(0), mirroring
+	// dfp.Config.Workers. Any fixed value is deterministic run to run; pin
+	// it explicitly (e.g. 1) when reproducibility across machines matters,
+	// because different worker counts produce different (equally valid)
+	// training interleavings.
+	Workers int
+	// Seed roots the per-episode rng derivation: episode i explores with a
+	// private rng seeded EpisodeSeed(Seed, i), independent of which worker
+	// runs it and of the worker count.
+	Seed int64
+	// AfterEpisode, when non-nil, runs on the reduction goroutine after each
+	// episode is folded into the learner, in episode order. Model-selection
+	// protocols (§IV-A validation) hook in here; returning an error aborts
+	// the run. The learner's weights are stable during the call: no rollouts
+	// are in flight between rounds.
+	AfterEpisode func(episode int, r core.EpisodeResult) error
+}
+
+// ResolveWorkers applies the package-wide worker-count default: n <= 0
+// means runtime.GOMAXPROCS(0). It is the single place the convention is
+// implemented; callers that display or persist an effective worker count
+// use it rather than re-deriving the default.
+func ResolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+func (c Config) resolveWorkers() int { return ResolveWorkers(c.Workers) }
+
+// Episode identifies one rollout: its global index in the run, the job set
+// it replays, and the deterministic seed of its private exploration rng.
+type Episode struct {
+	Index int
+	Seed  int64
+	Set   core.JobSet
+}
+
+// Transcript is an opaque episode record passed from an Actor to its
+// Learner's Reduce (dfp.Transcript for MRSch, rl.Trajectory for scalar RL).
+type Transcript any
+
+// Actor rolls out one episode at a time on behalf of one worker. Distinct
+// actors returned by a Learner reporting parallel=true may run concurrently;
+// a single actor is never invoked concurrently with itself.
+type Actor interface {
+	Rollout(ep Episode) (Transcript, error)
+}
+
+// Learner is the master-side trainer driving a rollout run.
+type Learner interface {
+	// Spawn returns a per-worker actor. The second result reports whether
+	// the actor may run concurrently with other spawned actors; the first
+	// false collapses the pool to a single worker (un-cloneable custom
+	// network modules).
+	Spawn() (Actor, bool)
+	// Reduce folds one episode's transcript into the learner — replay
+	// ingestion and gradient steps for MRSch, the REINFORCE update for
+	// scalar RL. The harness calls it on one goroutine, in episode order,
+	// with no rollouts in flight.
+	Reduce(ep Episode, tr Transcript) (core.EpisodeResult, error)
+}
+
+// Train collects the job sets as episodes across the worker pool and reduces
+// them into the learner in episode order.
+//
+// The run proceeds in rounds of Workers episodes. Within a round every
+// episode is rolled out concurrently against the weight snapshot at round
+// start; at the round barrier the transcripts are reduced in episode order
+// (deterministic floating-point and replay-ingestion order), the learner
+// updates its weights, and the next round begins. Episode i's exploration is
+// driven by a private rng seeded EpisodeSeed(cfg.Seed, i) and the episode's
+// own slot in the exploration schedule, so for a fixed (Seed, Workers) pair
+// the full result stream — including final network weights — is bitwise
+// reproducible run to run, and Workers=1 reproduces TrainSerial exactly.
+func Train(l Learner, cfg Config, sets []core.JobSet) ([]core.EpisodeResult, error) {
+	n := len(sets)
+	w := cfg.resolveWorkers()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	actors := make([]Actor, 0, w)
+	for i := 0; i < w; i++ {
+		a, parallel := l.Spawn()
+		actors = append(actors, a)
+		if !parallel {
+			actors = actors[:1] // serial fallback: the actor borrows master state
+			break
+		}
+	}
+	w = len(actors)
+
+	results := make([]core.EpisodeResult, 0, n)
+	trs := make([]Transcript, w)
+	errs := make([]error, w)
+	for start := 0; start < n; start += w {
+		cnt := w
+		if start+cnt > n {
+			cnt = n - start
+		}
+		dispatch(cnt, cnt, func(worker, i int) {
+			trs[i], errs[i] = actors[worker].Rollout(episodeAt(cfg, sets, start+i))
+		})
+		for i := 0; i < cnt; i++ {
+			idx := start + i
+			if errs[i] != nil {
+				return results, fmt.Errorf("rollout: episode %d (%s): %w", idx, sets[idx].Kind, errs[i])
+			}
+			r, err := l.Reduce(episodeAt(cfg, sets, idx), trs[i])
+			if err != nil {
+				return results, fmt.Errorf("rollout: reduce episode %d (%s): %w", idx, sets[idx].Kind, err)
+			}
+			results = append(results, r)
+			if cfg.AfterEpisode != nil {
+				if err := cfg.AfterEpisode(idx, r); err != nil {
+					return results, err
+				}
+			}
+		}
+	}
+	return results, nil
+}
+
+// TrainSerial is the retained serial reference: one actor, one inline loop,
+// no goroutines or round structure, with the same per-episode seed
+// derivation as Train. Train with Workers=1 must produce an identical result
+// stream and identical final weights — the property the package's
+// determinism tests pin, mirroring dfp.TrainStepReference's role for the
+// batched engine.
+func TrainSerial(l Learner, cfg Config, sets []core.JobSet) ([]core.EpisodeResult, error) {
+	actor, _ := l.Spawn()
+	results := make([]core.EpisodeResult, 0, len(sets))
+	for i := range sets {
+		ep := episodeAt(cfg, sets, i)
+		tr, err := actor.Rollout(ep)
+		if err != nil {
+			return results, fmt.Errorf("rollout: episode %d (%s): %w", i, sets[i].Kind, err)
+		}
+		r, err := l.Reduce(ep, tr)
+		if err != nil {
+			return results, fmt.Errorf("rollout: reduce episode %d (%s): %w", i, sets[i].Kind, err)
+		}
+		results = append(results, r)
+		if cfg.AfterEpisode != nil {
+			if err := cfg.AfterEpisode(i, r); err != nil {
+				return results, err
+			}
+		}
+	}
+	return results, nil
+}
+
+func episodeAt(cfg Config, sets []core.JobSet, i int) Episode {
+	return Episode{Index: i, Seed: EpisodeSeed(cfg.Seed, i), Set: sets[i]}
+}
+
+// EpisodeSeed derives episode i's exploration-rng seed from the harness base
+// seed with a splitmix64 finalizer, so neighboring episodes get decorrelated
+// streams and the mapping is independent of worker count and scheduling.
+func EpisodeSeed(base int64, episode int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*(uint64(episode)+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// dispatch runs fn(worker, item) for every item in [0, n) across up to
+// `workers` goroutines, worker w handling items w, w+workers, w+2*workers, …
+// The worker→item mapping is deterministic so per-worker state (actors,
+// scratch) sees a reproducible item sequence. Execution goroutines are
+// additionally capped at GOMAXPROCS: rollouts are CPU-bound, so running a
+// logical round of k environments on fewer cores serializes some of them
+// without changing any result (each item fully resets its worker state),
+// and a single-core host pays no goroutine overhead at all. workers<=1 runs
+// inline on the caller's goroutine. dispatch returns when all items are
+// done.
+func dispatch(workers, n int, fn func(worker, item int)) {
+	if workers > n {
+		workers = n
+	}
+	if g := runtime.GOMAXPROCS(0); workers > g {
+		workers = g
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Map runs fn over items across up to `workers` goroutines (0 = all cores)
+// and returns the results in input order — the episode-sweep primitive that
+// shares the worker-pool engine with Train. fn receives the worker slot (for
+// per-worker scratch), the item index, and the item; the first error in item
+// order is returned after all items finish.
+func Map[T, R any](workers int, items []T, fn func(worker, index int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	errs := make([]error, len(items))
+	dispatch(Config{Workers: workers}.resolveWorkers(), len(items), func(w, i int) {
+		out[i], errs[i] = fn(w, i, items[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("rollout: item %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

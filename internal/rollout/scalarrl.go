@@ -1,0 +1,59 @@
+package rollout
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/rl"
+	"repro/internal/sim"
+)
+
+// scalarRLLearner adapts the policy-gradient baseline to the harness: actors
+// are rl.Actor clones sampling trajectories against shared weights, Reduce
+// applies the REINFORCE update per episode in order.
+type scalarRLLearner struct {
+	s   *rl.Scheduler
+	cfg core.TrainConfig
+}
+
+// NewScalarRLLearner adapts a scalar-RL scheduler for Train/TrainSerial.
+// Only cfg.System and cfg.MaxEventsPerEpisode are consulted — REINFORCE
+// takes exactly one update per episode, so StepsPerEpisode does not apply.
+func NewScalarRLLearner(s *rl.Scheduler, cfg core.TrainConfig) Learner {
+	return &scalarRLLearner{s: s, cfg: cfg}
+}
+
+func (l *scalarRLLearner) Spawn() (Actor, bool) {
+	a, parallel := l.s.Actor()
+	return &scalarRLActor{l: l, a: a}, parallel
+}
+
+func (l *scalarRLLearner) Reduce(ep Episode, tr Transcript) (core.EpisodeResult, error) {
+	t, ok := tr.(*rl.Trajectory)
+	if !ok {
+		return core.EpisodeResult{}, fmt.Errorf("rollout: scalar-RL reduce got %T", tr)
+	}
+	loss := l.s.IngestTrajectory(t)
+	return core.EpisodeResult{Set: ep.Set.Kind, Loss: loss}, nil
+}
+
+type scalarRLActor struct {
+	l *scalarRLLearner
+	a *rl.Actor
+}
+
+func (w *scalarRLActor) Rollout(ep Episode) (Transcript, error) {
+	w.a.Reset(ep.Seed)
+	s := sim.New(w.l.cfg.System, w.a.Policy())
+	if w.l.cfg.MaxEventsPerEpisode > 0 {
+		s.SetMaxEvents(w.l.cfg.MaxEventsPerEpisode)
+	}
+	if err := s.Load(job.CloneAll(ep.Set.Jobs)); err != nil {
+		return nil, err
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	return w.a.TakeTrajectory(), nil
+}

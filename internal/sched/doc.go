@@ -1,0 +1,19 @@
+// Package sched implements the HPC scheduling framework shared by every
+// method the paper compares: the window over the front of the waiting queue,
+// advance reservation of the first unplaceable selection, and EASY
+// backfilling (§II-A and §III-C). Individual scheduling methods plug in as
+// Pickers: FCFS (this package), the genetic-algorithm optimizer
+// (internal/ga), the scalar-reward policy gradient (internal/rl), and MRSch
+// itself (internal/core).
+//
+// # Determinism
+//
+// The framework itself is deterministic: WindowPolicy consults its Picker
+// and the simulator in fixed order, backfilling scans the queue snapshot in
+// arrival order, and no randomness or map iteration enters any decision.
+// All stochastic behaviour lives inside Pickers and is seeded there — a
+// WindowPolicy over a deterministic Picker replays identically. Rollout
+// actors (core.MRSchActor, rl.Actor) are Pickers too, so parallel episode
+// collection reuses this exact driver; the repo-wide determinism and
+// seeding contract is documented in internal/rollout.
+package sched

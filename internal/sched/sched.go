@@ -1,10 +1,3 @@
-// Package sched implements the HPC scheduling framework shared by every
-// method the paper compares: the window over the front of the waiting queue,
-// advance reservation of the first unplaceable selection, and EASY
-// backfilling (§II-A and §III-C). Individual scheduling methods plug in as
-// Pickers: FCFS (this package), the genetic-algorithm optimizer
-// (internal/ga), the scalar-reward policy gradient (internal/rl), and MRSch
-// itself (internal/core).
 package sched
 
 import (

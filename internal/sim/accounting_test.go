@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/job"
+)
+
+// almostEq compares accounting integrals with a tight tolerance.
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// ResourceSeconds and Utilization must report the integral over the
+// processed prefix of the simulation only: at a SetMaxEvents cutoff with
+// jobs still running, a running job contributes exactly the usage accrued up
+// to the last processed event time — nothing of its remaining runtime.
+// This pins the documented cutoff semantics.
+func TestResourceSecondsAtMaxEventsCutoff(t *testing.T) {
+	s := New(cfg2(), greedyFCFS())
+	jobs := []*job.Job{
+		mk(1, 0, 1000, 4, 2),  // starts at t=0, would finish at t=1000
+		mk(2, 50, 1000, 2, 1), // starts at t=50, would finish at t=1050
+	}
+	if err := s.Load(jobs); err != nil {
+		t.Fatal(err)
+	}
+	// Rounds: t=0 (submit+start job 1), t=50 (submit+start job 2), t=1000
+	// (job 1 finishes) — then the bound of 2 trips (the check runs after a
+	// round completes), leaving job 2 running with 50 s of runtime left.
+	s.SetMaxEvents(2)
+	err := s.Run()
+	if err == nil {
+		t.Fatal("expected the maxEvents bound to trip")
+	}
+	if jobs[0].State != job.Finished || jobs[1].State != job.Running {
+		t.Fatalf("states = %v/%v, want finished/running", jobs[0].State, jobs[1].State)
+	}
+
+	start, end := s.ElapsedWindow()
+	if start != 0 || end != 1000 {
+		t.Fatalf("window = [%v, %v], want [0, 1000]", start, end)
+	}
+	elapsed := end - start
+
+	// Job 1 used 4 nodes over its full [0, 1000] run; job 2 used 2 nodes
+	// over [50, 1000] only — the 50 s it runs past the cutoff clock
+	// contribute nothing.
+	wantNodeSec := 4*elapsed + 2*(elapsed-50)
+	if got := s.ResourceSeconds(0); !almostEq(got, wantNodeSec) {
+		t.Fatalf("node ResourceSeconds = %v, want %v (window end %v)", got, wantNodeSec, end)
+	}
+	wantBBSec := 2*elapsed + 1*(elapsed-50)
+	if got := s.ResourceSeconds(1); !almostEq(got, wantBBSec) {
+		t.Fatalf("bb ResourceSeconds = %v, want %v", got, wantBBSec)
+	}
+
+	// Utilization is the same integral over capacity x truncated window.
+	if got, want := s.Utilization(0), wantNodeSec/(10*elapsed); !almostEq(got, want) {
+		t.Fatalf("node utilization = %v, want %v", got, want)
+	}
+	if got, want := s.Utilization(1), wantBBSec/(8*elapsed); !almostEq(got, want) {
+		t.Fatalf("bb utilization = %v, want %v", got, want)
+	}
+}
+
+// Mid-run queries driven by Step directly obey the same prefix semantics.
+func TestAccountingMidRunPrefix(t *testing.T) {
+	s := New(cfg2(), greedyFCFS())
+	if err := s.Load([]*job.Job{mk(1, 0, 100, 5, 0), mk(2, 20, 100, 5, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	step := func() {
+		t.Helper()
+		more, err := s.Step()
+		if err != nil || !more {
+			t.Fatalf("step: more=%v err=%v", more, err)
+		}
+	}
+	step() // t=0: job 1 starts
+	if got := s.ResourceSeconds(0); got != 0 {
+		t.Fatalf("ResourceSeconds after first event = %v, want 0 (no time elapsed)", got)
+	}
+	step() // t=20: job 2 arrives and starts; job 1 accrued 5 nodes x 20 s
+	if got := s.ResourceSeconds(0); !almostEq(got, 100) {
+		t.Fatalf("ResourceSeconds at t=20 = %v, want 100", got)
+	}
+	if got := s.Utilization(0); !almostEq(got, 100.0/(10*20)) {
+		t.Fatalf("mid-run utilization = %v", got)
+	}
+}

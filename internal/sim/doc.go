@@ -1,0 +1,25 @@
+// Package sim is the reproduction of CQSim: a trace-based, event-driven HPC
+// job-scheduling simulator (§IV of the paper). It imports jobs from a trace,
+// advances a simulation clock on job-arrival and job-completion events, and
+// on every queue/system change hands control to a scheduling Policy, exactly
+// as CQSim sends scheduling requests to the MRSch agent.
+//
+// # Determinism
+//
+// The simulator is fully deterministic: it owns no randomness, reads no wall
+// clock, and iterates no maps on any path that affects results. Events at
+// equal timestamps are processed in push order, and the waiting queue
+// preserves arrival order. An episode's outcome is therefore a pure function
+// of the loaded jobs and the policy's decisions — the property the parallel
+// episode-collection harness builds on; see the internal/rollout package
+// documentation for the repo-wide determinism and seeding contract.
+//
+// # Accounting at cutoffs
+//
+// ResourceSeconds and Utilization integrate usage over the processed prefix
+// of the event stream, [first event, current clock]. Mid-run — or when
+// SetMaxEvents truncates an episode with jobs still running — a running job
+// contributes only the usage accrued up to the last processed event; its
+// remaining runtime is not forecast into the metrics. The §IV-B evaluation
+// metrics (internal/metrics) assume a normally-completed run.
+package sim

@@ -1,8 +1,3 @@
-// Package sim is the reproduction of CQSim: a trace-based, event-driven HPC
-// job-scheduling simulator (§IV of the paper). It imports jobs from a trace,
-// advances a simulation clock on job-arrival and job-completion events, and
-// on every queue/system change hands control to a scheduling Policy, exactly
-// as CQSim sends scheduling requests to the MRSch agent.
 package sim
 
 import (
@@ -190,18 +185,36 @@ func (s *Simulator) Run() error {
 	return nil
 }
 
-// SetMaxEvents bounds Run to n scheduling rounds (0 = unlimited).
+// SetMaxEvents bounds Run to n scheduling rounds (0 = unlimited). When the
+// bound trips, Run returns an error with jobs potentially still queued or
+// running; the accounting queries below remain well-defined in that state.
 func (s *Simulator) SetMaxEvents(n int) { s.maxEvents = n }
 
 // ElapsedWindow returns the metrics window [first event, current clock].
 func (s *Simulator) ElapsedWindow() (start, end float64) { return s.clock0, s.clk }
 
 // ResourceSeconds returns the integral of used units over time for resource
-// r (the numerator of the utilization metrics in §IV-B).
+// r (the numerator of the utilization metrics in §IV-B), accumulated over
+// the window [first event, current clock].
+//
+// The integral covers exactly the events processed so far. If the
+// simulation is mid-run — or was cut short by the SetMaxEvents bound with
+// jobs still running — a running job contributes only the usage accrued up
+// to the last processed event time: nothing of its remaining runtime is
+// counted, and nothing between the current clock and its eventual
+// completion. (TestResourceSecondsAtMaxEventsCutoff pins this behavior.)
 func (s *Simulator) ResourceSeconds(r int) float64 { return s.acct.usedSeconds[r] }
 
-// Utilization returns used-unit-seconds / (capacity * elapsed) for resource
-// r over the simulation so far.
+// Utilization returns ResourceSeconds(r) / (capacity * elapsed) for
+// resource r, where elapsed is the ElapsedWindow span so far.
+//
+// Like ResourceSeconds, this is exact for the processed prefix of the
+// simulation: at a SetMaxEvents cutoff the denominator ends at the last
+// processed event, so the ratio reflects utilization over the truncated
+// window — not a forecast of what completing the still-running jobs would
+// yield. The §IV-B metrics in internal/metrics assume a run that completed
+// normally; utilization of a truncated run is reported for the truncated
+// window only.
 func (s *Simulator) Utilization(r int) float64 {
 	elapsed := s.clk - s.clock0
 	if elapsed <= 0 {

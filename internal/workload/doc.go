@@ -1,0 +1,23 @@
+// Package workload builds the traces the paper evaluates on. The original
+// study uses a five-month 2018 production log from Theta at ALCF extended
+// with burst-buffer requests mined from Darshan I/O records (§IV-A); that
+// log is not redistributable, so this package generates a synthetic
+// Theta-like base trace matching the published statistics (machine scale,
+// job-size mixture, lognormal runtimes, diurnal/weekly arrival modulation,
+// overestimated walltimes) and then applies the exact workload
+// transformations of Table III (S1-S5) and the power extension of §V-E
+// (S6-S10). Everything is parameterized by a scale divisor so the full
+// 4392-node machine and CI-sized replicas share one code path, with demands
+// expressed as capacity fractions to preserve contention levels.
+//
+// # Determinism and seeding
+//
+// Every generator and transform in this package takes an explicit seed and
+// builds a private rand.Rand from it; no function consults global randomness
+// or the wall clock, so a (config, seed) pair always yields the same trace,
+// the same Table III transformation, and the same curriculum job sets. The
+// experiment campaign derives all of these seeds from one Scale.Seed with
+// fixed offsets (internal/experiments), and parallel training/sweep
+// episodes keep their own per-episode streams on top — see the
+// internal/rollout package documentation for that contract.
+package workload

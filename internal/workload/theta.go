@@ -1,14 +1,3 @@
-// Package workload builds the traces the paper evaluates on. The original
-// study uses a five-month 2018 production log from Theta at ALCF extended
-// with burst-buffer requests mined from Darshan I/O records (§IV-A); that
-// log is not redistributable, so this package generates a synthetic
-// Theta-like base trace matching the published statistics (machine scale,
-// job-size mixture, lognormal runtimes, diurnal/weekly arrival modulation,
-// overestimated walltimes) and then applies the exact workload
-// transformations of Table III (S1-S5) and the power extension of §V-E
-// (S6-S10). Everything is parameterized by a scale divisor so the full
-// 4392-node machine and CI-sized replicas share one code path, with demands
-// expressed as capacity fractions to preserve contention levels.
 package workload
 
 import (
