@@ -562,6 +562,38 @@ func BenchmarkEpisodeThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelinedThroughput compares barrier and pipelined rollout-
+// training end to end: the same curriculum with real gradient steps
+// (StepsPerEpisode=8) so there is training work for the pipeline to hide
+// behind collection. episodes/sec is the comparison axis; the speedup target
+// is a multicore property (on a single-CPU host both modes collapse to the
+// serial rate and the pipelined row is the overhead regression guard — see
+// BENCH_rollout.json).
+func BenchmarkPipelinedThroughput(b *testing.B) {
+	sys := workload.ThetaScaled(32)
+	sets := episodeThroughputSets(sys)
+	for _, mode := range []struct {
+		name      string
+		pipelined bool
+	}{{"barrier", false}, {"pipelined", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			agent := episodeThroughputAgent(sys)
+			learner := rollout.NewMRSchLearner(agent, core.TrainConfig{
+				System:          sys,
+				StepsPerEpisode: 8,
+			})
+			cfg := rollout.Config{Workers: 4, Seed: 7, Pipelined: mode.pipelined}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rollout.Train(learner, cfg, sets); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(sets))*float64(b.N)/b.Elapsed().Seconds(), "episodes/sec")
+		})
+	}
+}
+
 func BenchmarkGAPick(b *testing.B) {
 	sys := benchSystem()
 	cl := cluster.New(sys)

@@ -6,12 +6,19 @@
 //
 // Usage:
 //
-//	mrsch-exp [-scale quick|standard|tiny] [-fig all|1|3|4|5|6|7|8|9|10|sweep] [-parallel 4]
+//	mrsch-exp [-scale quick|standard|tiny] [-fig all|1|3|4|5|6|7|8|9|10|sweep] [-parallel 4] [-pipeline]
 //
 // -parallel N runs training rollouts and sweep evaluation episodes on N
 // simulator environments concurrently (0 = all CPU cores). The "sweep"
 // figure fans the full S1-S10 x method scenario grid across the same worker
 // pool. Results are reproducible for any fixed N (see internal/rollout).
+//
+// -pipeline overlaps every training campaign's episode collection with its
+// gradient steps against a versioned weight snapshot (rollout.Config
+// .Pipelined) and shards the replay buffer per rollout worker. Campaigns
+// stay reproducible for a fixed (seed, -parallel) pair but differ from
+// barrier-mode campaigns (one-round policy lag); figure tables trained
+// either way keep their qualitative shape.
 package main
 
 import (
@@ -29,7 +36,15 @@ func main() {
 	figFlag := flag.String("fig", "all", "comma-separated figures to run: 1,3,4,5,6,7,8,9,10,sweep or all")
 	seed := flag.Int64("seed", 0, "override campaign seed (0 keeps the scale default)")
 	parallel := flag.Int("parallel", 1, "parallel rollout environments (0 = all CPU cores)")
+	pipeline := flag.Bool("pipeline", false, "overlap collection with training against a versioned weight snapshot")
 	flag.Parse()
+
+	// A negative -parallel used to fall back to all cores silently via the
+	// rollout.ResolveWorkers n<=0 convention; reject it instead.
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "mrsch-exp: -parallel must be >= 0 (0 = all CPU cores), got %d\n", *parallel)
+		os.Exit(2)
+	}
 
 	var sc experiments.Scale
 	switch *scaleFlag {
@@ -52,6 +67,7 @@ func main() {
 		sc.Seed = *seed
 	}
 	sc.RolloutWorkers = *parallel
+	sc.Pipelined = *pipeline
 
 	want := map[string]bool{}
 	if *figFlag == "all" {
@@ -64,8 +80,12 @@ func main() {
 		}
 	}
 
-	fmt.Printf("MRSch experiment campaign — scale=%s (Theta/%d, window %d, seed %d)\n\n",
-		sc.Name, sc.Div, sc.Window, sc.Seed)
+	mode := "barrier"
+	if sc.Pipelined {
+		mode = "pipelined"
+	}
+	fmt.Printf("MRSch experiment campaign — scale=%s (Theta/%d, window %d, seed %d, %s training)\n\n",
+		sc.Name, sc.Div, sc.Window, sc.Seed, mode)
 	start := time.Now()
 	c := experiments.NewCampaign(sc)
 

@@ -4,12 +4,20 @@
 //
 // Usage:
 //
-//	mrsch-train -workload S4 [-scale quick|standard] [-parallel 4] [-out mrsch-s4.model]
+//	mrsch-train -workload S4 [-scale quick|standard] [-parallel 4] [-pipeline] [-out mrsch-s4.model]
 //
 // -parallel N collects training episodes from N simulator environments
 // concurrently (0 = all CPU cores) through the internal/rollout harness;
 // results are bitwise reproducible for any fixed N (see the rollout package
 // documentation for the determinism contract).
+//
+// -pipeline additionally overlaps collection with training: round k+1 rolls
+// out against a versioned weight snapshot while round k's gradient steps run,
+// and the replay buffer is sharded per rollout worker. Runs stay bitwise
+// reproducible for a fixed (seed, -parallel) pair but differ from barrier-
+// mode runs (the collection policy lags one round); with -validate, the
+// validation protocol scores the live weights as usual while only snapshot
+// readers are in flight.
 package main
 
 import (
@@ -29,7 +37,20 @@ func main() {
 	cnn := flag.Bool("cnn", false, "use the CNN state module (Figure 3 ablation)")
 	validate := flag.Bool("validate", false, "keep the best weights by validation score (§IV-A protocol)")
 	parallel := flag.Int("parallel", 1, "parallel rollout environments (0 = all CPU cores)")
+	pipeline := flag.Bool("pipeline", false, "overlap collection with training against a versioned weight snapshot")
 	flag.Parse()
+
+	// Flag combinations fail loudly: a negative -parallel used to fall back
+	// to all cores silently (the rollout.ResolveWorkers n<=0 convention),
+	// which silently un-pins a run the user thought was deterministic across
+	// machines.
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "mrsch-train: -parallel must be >= 0 (0 = all CPU cores), got %d\n", *parallel)
+		os.Exit(2)
+	}
+	if *pipeline && *parallel == 1 {
+		fmt.Fprintln(os.Stderr, "mrsch-train: note: -pipeline with -parallel 1 overlaps each episode's collection with the previous episode's gradient steps only; raise -parallel for wider rounds")
+	}
 
 	var sc experiments.Scale
 	switch *scaleFlag {
@@ -43,10 +64,15 @@ func main() {
 	}
 
 	sc.RolloutWorkers = *parallel
+	sc.Pipelined = *pipeline
 
+	mode := "barrier"
+	if sc.Pipelined {
+		mode = "pipelined"
+	}
 	m := experiments.Prepare(sc)
-	fmt.Printf("training MRSch on %s (scale %s: Theta/%d, %d sets x %d jobs per kind, %d rollout workers)\n",
-		*wl, sc.Name, sc.Div, sc.SetsPerKind, sc.SetSize, rollout.ResolveWorkers(sc.RolloutWorkers))
+	fmt.Printf("training MRSch on %s (scale %s: Theta/%d, %d sets x %d jobs per kind, %d rollout workers, %s)\n",
+		*wl, sc.Name, sc.Div, sc.SetsPerKind, sc.SetSize, rollout.ResolveWorkers(sc.RolloutWorkers), mode)
 	var agent *core.MRSch
 	var results []core.EpisodeResult
 	var err error

@@ -31,6 +31,24 @@ func (m *MRSch) Actor() (*MRSchActor, bool) {
 	return &MRSchActor{enc: m.Enc, ac: ac, fixedGoal: m.FixedGoal}, parallel
 }
 
+// SnapshotActor returns a rollout actor reading the agent's published
+// copy-on-write weight snapshot (dfp.Agent.SnapshotActor) rather than the
+// live weights, so it may roll out episodes concurrently with TrainStep —
+// the contract pipelined training (internal/rollout Config.Pipelined) relies
+// on. It reports false when the state module cannot be snapshot-cloned;
+// unlike Actor there is no borrow-the-master fallback.
+func (m *MRSch) SnapshotActor() (*MRSchActor, bool) {
+	ac, ok := m.Agent.SnapshotActor()
+	if !ok {
+		return nil, false
+	}
+	return &MRSchActor{enc: m.Enc, ac: ac, fixedGoal: m.FixedGoal}, true
+}
+
+// PublishWeights advances the snapshot read by SnapshotActor clones to the
+// current live weights. Call only with no snapshot actor mid-rollout.
+func (m *MRSch) PublishWeights() { m.Agent.PublishWeights() }
+
 var _ sched.Picker = (*MRSchActor)(nil)
 
 // Reset prepares the actor for one episode: a fresh exploration rng at the

@@ -32,18 +32,19 @@ func (m *modules) all() []nn.Layer {
 	return []nn.Layer{m.state, m.meas, m.goal, m.exp, m.act}
 }
 
-// sharedClone returns a replica whose parameters alias the receiver's weight
-// Values but whose gradients and forward state are private. It reports false
-// when a custom state module cannot be replicated by nn.SharedClone.
-func (m *modules) sharedClone() (modules, bool) {
-	stateC, ok := nn.SharedClone(m.state)
+// cloneVia replicates the five networks through the given nn cloner
+// (nn.SharedClone for live-weight replicas, nn.SnapshotClone for published-
+// snapshot replicas). It reports false when the state module cannot be
+// replicated — the built-in modules always can.
+func (m *modules) cloneVia(clone func(nn.Layer) (nn.Layer, bool)) (modules, bool) {
+	stateC, ok := clone(m.state)
 	if !ok {
 		return modules{}, false
 	}
-	measC, _ := nn.SharedClone(m.meas)
-	goalC, _ := nn.SharedClone(m.goal)
-	expC, _ := nn.SharedClone(m.exp)
-	actC, _ := nn.SharedClone(m.act)
+	measC, _ := clone(m.meas)
+	goalC, _ := clone(m.goal)
+	expC, _ := clone(m.exp)
+	actC, _ := clone(m.act)
 	return modules{
 		state: stateC,
 		meas:  measC.(*nn.Sequential),
@@ -52,6 +53,18 @@ func (m *modules) sharedClone() (modules, bool) {
 		act:   actC.(*nn.Sequential),
 	}, true
 }
+
+// sharedClone returns a replica whose parameters alias the receiver's weight
+// Values but whose gradients and forward state are private. It reports false
+// when a custom state module cannot be replicated by nn.SharedClone.
+func (m *modules) sharedClone() (modules, bool) { return m.cloneVia(nn.SharedClone) }
+
+// snapshotClone returns a replica whose parameters alias the published
+// copy-on-write weight snapshot (nn.SnapshotClone) with private forward
+// state, so it can run forward passes concurrently with TrainStep. It
+// reports false when any module cannot be snapshot-cloned (custom
+// SharedCloner state modules alias live values by construction).
+func (m *modules) snapshotClone() (modules, bool) { return m.cloneVia(nn.SnapshotClone) }
 
 // inferScratch owns the buffers of one zero-allocation inference pass.
 // Every holder of a modules value pairs it with its own inferScratch, so
@@ -170,6 +183,35 @@ func (a *Agent) Actor() (*Actor, bool) {
 		eps:  a.eps,
 	}, ok
 }
+
+// SnapshotActor returns a rollout actor reading the published copy-on-write
+// weight snapshot instead of the live weights (materializing the snapshot
+// from the current weights on first use). Snapshot actors may run
+// concurrently with each other AND with TrainStep — training mutates only
+// the live Values — which is the property pipelined rollout-training
+// (internal/rollout Config.Pipelined) is built on. The weights they see
+// advance only when PublishWeights runs, which in turn must happen with no
+// snapshot actor mid-rollout. The second result reports false when a custom
+// state module cannot be snapshot-cloned; there is no borrow-the-master
+// fallback, because a borrowed actor could never overlap training.
+func (a *Agent) SnapshotActor() (*Actor, bool) {
+	nets, ok := a.nets.snapshotClone()
+	if !ok {
+		return nil, false
+	}
+	return &Actor{
+		cfg:  &a.cfg,
+		nets: nets,
+		rng:  rand.New(rand.NewSource(a.cfg.Seed)),
+		eps:  a.eps,
+	}, true
+}
+
+// PublishWeights copies the live network weights into the snapshot read by
+// SnapshotActor clones and bumps the version (nn.PublishParams). Call it
+// only at a synchronization point with no snapshot actor mid-rollout; the
+// actors observe the new weights on their next forward pass.
+func (a *Agent) PublishWeights() { nn.PublishParams(a.params) }
 
 // Reset prepares the actor for one episode: a fresh rng at the given seed,
 // the episode's exploration rate (see Config.EpsilonAt), and an empty

@@ -87,7 +87,7 @@ func TestIngestTranscriptMatchesEndEpisode(t *testing.T) {
 		t.Fatalf("replay sizes differ: %d vs %d", master.ReplaySize(), viaActor.ReplaySize())
 	}
 	for i := 0; i < master.ReplaySize(); i++ {
-		em, ea := master.replay.buf[i], viaActor.replay.buf[i]
+		em, ea := master.replay.shards[0].buf[i], viaActor.replay.shards[0].buf[i]
 		if em.Action != ea.Action {
 			t.Fatalf("experience %d action: %d vs %d", i, em.Action, ea.Action)
 		}

@@ -1,25 +1,3 @@
-// Package dfp implements Direct Future Prediction (Dosovitskiy & Koltun,
-// ICLR 2017), the multi-objective reinforcement-learning algorithm MRSch is
-// built on (§II-B of the paper). A DFP agent is trained to predict, for each
-// candidate action, how a vector of measurements will change at several
-// temporal offsets into the future, conditioned on the current sensory
-// state, the current measurements, and a goal vector expressing the relative
-// importance of each measurement. Acting greedily means choosing the action
-// whose predicted future-measurement changes score highest under the goal.
-//
-// The network follows the paper's architecture: three input modules (state,
-// measurement, goal) whose outputs are concatenated into a joint
-// representation, processed by two parallel streams — an expectation stream
-// and an action stream normalized across actions (the dueling decomposition
-// of Wang et al.) — and summed into per-action predictions. The state module
-// is an MLP in MRSch; the original DFP's convolutional module is provided as
-// an option for the Figure 3 ablation.
-//
-// The hot paths are engineered for throughput: inference (Act) runs through
-// agent-owned scratch buffers with zero steady-state heap allocations, and
-// TrainStep processes each minibatch through batched matrix-matrix kernels
-// with a sparse dueling backward, sharded across Config.Workers goroutines
-// (see engine.go).
 package dfp
 
 import (
@@ -79,6 +57,17 @@ type Config struct {
 	EpsStart, EpsDecay, EpsMin float64
 	// ReplayCap bounds the experience buffer.
 	ReplayCap int
+	// ReplayShards splits the replay buffer into that many independent
+	// rings (capacity divided evenly): insertion round-robins the shards,
+	// sampling round-robins the non-empty shards with a uniform draw inside
+	// each. Distinct shards can be appended to concurrently by their owning
+	// writers, which is what lets a parallel rollout harness compose with
+	// Workers without funneling through one ring. 0 or 1 keeps the single
+	// reference ring, whose sampling arithmetic is bit-for-bit the
+	// pre-sharding buffer; like Workers, any fixed value is deterministic
+	// run to run but different values sample in different (equally valid)
+	// orders.
+	ReplayShards int
 	// BatchSize is the minibatch size per training step.
 	BatchSize int
 	// Workers is the number of goroutines TrainStep shards each minibatch
@@ -165,6 +154,9 @@ func (c *Config) validate() error {
 		}
 		prev = o
 	}
+	if c.ReplayShards < 0 {
+		return fmt.Errorf("dfp: ReplayShards must be >= 0, got %d", c.ReplayShards)
+	}
 	return nil
 }
 
@@ -214,7 +206,7 @@ func New(cfg Config) *Agent {
 		cfg:    cfg,
 		rng:    rng,
 		eps:    cfg.EpsStart,
-		replay: newReplay(cfg.ReplayCap),
+		replay: newReplay(cfg.ReplayCap, cfg.ReplayShards),
 	}
 	a.nets.state = buildStateModule(&cfg, rng)
 	h := cfg.ModuleHidden

@@ -214,7 +214,7 @@ func TestEpisodeRecordingAndTargets(t *testing.T) {
 		t.Fatalf("replay size %d, want 3", got)
 	}
 	// Inspect the first stored experience: offsets {1,2}, M=2.
-	e := a.replay.buf[0]
+	e := a.replay.shards[0].buf[0]
 	// target for offset 1 = seq[1]-seq[0] = {0.1,0.2}; offset 2 = seq[2]-seq[0] = {0.3,0.1}
 	want := []float64{0.1, 0.2, 0.3, 0.1}
 	for i := range want {
@@ -223,7 +223,7 @@ func TestEpisodeRecordingAndTargets(t *testing.T) {
 		}
 	}
 	// Second experience (t=1): offset 2 would need t=3 -> valid; t=2 offset2 -> t=4 invalid.
-	e2 := a.replay.buf[2] // t=2
+	e2 := a.replay.shards[0].buf[2] // t=2
 	if e2.Mask[2] || e2.Mask[3] {
 		t.Fatalf("t=2 offset-2 slots must be masked, mask=%v", e2.Mask)
 	}
@@ -366,7 +366,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestReplayRing(t *testing.T) {
-	r := newReplay(3)
+	r := newReplay(3, 1)
 	for i := 0; i < 5; i++ {
 		r.add(&Experience{Action: i})
 	}
@@ -374,7 +374,7 @@ func TestReplayRing(t *testing.T) {
 		t.Fatalf("replay len = %d, want 3", r.len())
 	}
 	// Oldest entries (0,1) must have been evicted.
-	for _, e := range r.buf {
+	for _, e := range r.shards[0].buf {
 		if e.Action < 2 {
 			t.Fatalf("stale experience %d retained", e.Action)
 		}

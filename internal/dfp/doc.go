@@ -1,0 +1,58 @@
+// Package dfp implements Direct Future Prediction (Dosovitskiy & Koltun,
+// ICLR 2017), the multi-objective reinforcement-learning algorithm MRSch is
+// built on (§II-B of the paper). A DFP agent is trained to predict, for each
+// candidate action, how a vector of measurements will change at several
+// temporal offsets into the future, conditioned on the current sensory
+// state, the current measurements, and a goal vector expressing the relative
+// importance of each measurement. Acting greedily means choosing the action
+// whose predicted future-measurement changes score highest under the goal.
+//
+// The network follows the paper's architecture: three input modules (state,
+// measurement, goal) whose outputs are concatenated into a joint
+// representation, processed by two parallel streams — an expectation stream
+// and an action stream normalized across actions (the dueling decomposition
+// of Wang et al.) — and summed into per-action predictions. The state module
+// is an MLP in MRSch; the original DFP's convolutional module is provided as
+// an option for the Figure 3 ablation.
+//
+// # Engine invariants
+//
+// The hot paths are engineered for throughput, and each fast path carries a
+// retained reference it must match:
+//
+//   - Inference (Act, Predict) runs through agent-owned scratch buffers with
+//     zero steady-state heap allocations; forwardDueling is shared verbatim
+//     between the master agent and every rollout actor.
+//
+//   - TrainStep processes each minibatch through batched matrix-matrix
+//     kernels with a sparse dueling backward, sharded across Config.Workers
+//     goroutines whose per-worker gradients reduce in fixed worker order
+//     (engine.go). It must match the scalar TrainStepReference to ≤1e-12,
+//     consume the agent rng identically, and stay at 0 allocs/op in steady
+//     state — all equivalence- and property-tested in engine_test.go.
+//
+//   - The replay buffer (replay.go) is sharded into independent rings sized
+//     by Config.ReplayShards: insertion round-robins the shards (or targets
+//     one explicitly via addTo, so distinct writers can append lock-free),
+//     eviction is oldest-first per shard, and sampling round-robins the
+//     non-empty shards deterministically with one uniform draw inside the
+//     selected shard. With ReplayShards<=1 the layout, eviction order, and
+//     rng consumption are bit-for-bit the pre-sharding single ring — the
+//     reference barrier-mode training is checked against.
+//
+// # Weight snapshots and rollout actors
+//
+// Two clone flavors serve the parallel harnesses in internal/rollout:
+//
+//   - Agent.Actor pairs nn.SharedClone replicas (weights alias the live
+//     Values) with private scratch — safe to run concurrently with other
+//     actors but not with TrainStep, the barrier-mode contract.
+//
+//   - Agent.SnapshotActor pairs nn.SnapshotClone replicas (weights alias the
+//     published copy-on-write snapshot, see the nn package doc) with private
+//     scratch — safe to run concurrently with TrainStep, because training
+//     mutates only the live Values. Agent.PublishWeights advances the
+//     snapshot at a synchronization point with no snapshot actor mid-
+//     forward; internal/rollout's pipelined mode provides exactly that
+//     point between rounds.
+package dfp

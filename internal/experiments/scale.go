@@ -44,11 +44,21 @@ type Scale struct {
 	// -parallel. See the internal/rollout package doc for the determinism
 	// contract.
 	RolloutWorkers int
+	// Pipelined overlaps episode collection with gradient steps in every
+	// training campaign of the scale (rollout.Config.Pipelined): round k+1
+	// rolls out against a versioned weight snapshot while round k trains,
+	// and the MRSch replay buffer is sharded per rollout worker
+	// (dfp.Config.ReplayShards). Off by default — barrier mode is the
+	// bitwise-reproducibility reference — and raised by the cmd binaries
+	// via -pipeline. Pipelined campaigns are deterministic for a fixed
+	// (Seed, RolloutWorkers) pair but differ from barrier-mode campaigns;
+	// see rollout's package doc, rules 6-8.
+	Pipelined bool
 }
 
 // rolloutConfig derives the training-harness configuration for the scale.
 func (s Scale) rolloutConfig() rollout.Config {
-	return rollout.Config{Workers: s.RolloutWorkers, Seed: s.Seed + 7}
+	return rollout.Config{Workers: s.RolloutWorkers, Seed: s.Seed + 7, Pipelined: s.Pipelined}
 }
 
 // QuickScale is the CI-sized campaign used by `go test` and the default

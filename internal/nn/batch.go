@@ -139,9 +139,23 @@ func shadowParam(p *Param) *Param {
 // sub-layer) is of a supported type; custom layers can opt in via
 // SharedCloner.
 func SharedClone(l Layer) (Layer, bool) {
+	return cloneWith(l, shadowParam, func(c Layer) (Layer, bool) {
+		if sc, ok := c.(SharedCloner); ok {
+			return sc.SharedClone(), true
+		}
+		return nil, false
+	})
+}
+
+// cloneWith structurally copies a network, rebuilding each parameter through
+// the given view (shadowParam for live-weight clones, snapshotParam for
+// published-snapshot clones) with fresh forward state throughout. Layers
+// outside the built-in set are delegated to custom (nil rejects them); the
+// first unsupported sub-layer fails the whole clone.
+func cloneWith(l Layer, view func(*Param) *Param, custom func(Layer) (Layer, bool)) (Layer, bool) {
 	switch t := l.(type) {
 	case *Dense:
-		return &Dense{In: t.In, Out: t.Out, W: shadowParam(t.W), B: shadowParam(t.B)}, true
+		return &Dense{In: t.In, Out: t.Out, W: view(t.W), B: view(t.B)}, true
 	case *LeakyReLU:
 		return &LeakyReLU{Alpha: t.Alpha, lastN: -1}, true
 	case *Tanh:
@@ -152,14 +166,14 @@ func SharedClone(l Layer) (Layer, bool) {
 		return &Conv1D{
 			InCh: t.InCh, OutCh: t.OutCh, InLen: t.InLen,
 			Kernel: t.Kernel, Stride: t.Stride, outLen: t.outLen,
-			W: shadowParam(t.W), B: shadowParam(t.B),
+			W: view(t.W), B: view(t.B),
 		}, true
 	case *MaxPool1D:
 		return &MaxPool1D{Ch: t.Ch, InLen: t.InLen, Pool: t.Pool, outLen: t.outLen}, true
 	case *Sequential:
 		layers := make([]Layer, len(t.Layers))
 		for i, child := range t.Layers {
-			c, ok := SharedClone(child)
+			c, ok := cloneWith(child, view, custom)
 			if !ok {
 				return nil, false
 			}
@@ -169,15 +183,16 @@ func SharedClone(l Layer) (Layer, bool) {
 	case *MultiBranch:
 		branches := make([]Branch, len(t.Branches))
 		for i, b := range t.Branches {
-			c, ok := SharedClone(b.Net)
+			c, ok := cloneWith(b.Net, view, custom)
 			if !ok {
 				return nil, false
 			}
 			branches[i] = Branch{Ranges: b.Ranges, Net: c}
 		}
 		return &MultiBranch{InSize: t.InSize, Branches: branches, outSizes: append([]int(nil), t.outSizes...)}, true
-	case SharedCloner:
-		return t.SharedClone(), true
+	}
+	if custom != nil {
+		return custom(l)
 	}
 	return nil, false
 }

@@ -44,6 +44,37 @@
 // gradients, which the caller reduces before the optimizer step
 // (internal/dfp does this across Config.Workers goroutines).
 //
+// # Weight snapshots and versioning
+//
+// Pipelined training (internal/rollout) needs readers of round-k weights to
+// run concurrently with the writer of round-k+1 weights. Each Param can
+// therefore carry a versioned copy-on-write snapshot of its Value
+// (snapshot.go):
+//
+//   - Param.Snapshot materializes a stable second buffer holding a copy of
+//     the current Value; SnapshotClone builds a network replica whose params
+//     alias those buffers (with private forward state), so any number of
+//     replicas can run forward passes against a frozen weight version while
+//     the live Values train.
+//
+//   - Param.Publish / PublishParams copies the live Value into the snapshot
+//     buffer in place and bumps Param.Version. Because the buffer is shared
+//     by every replica, Publish must only run at a synchronization point
+//     with no replica mid-forward — internal/rollout's inter-round join.
+//     Replicas observe the new version on their next forward pass without
+//     re-cloning.
+//
+//   - Params that are never snapshotted skip the copy entirely, so
+//     inference-only agents and barrier-mode training pay nothing
+//     (the copy-on-write property).
+//
+// SharedClone and SnapshotClone are two views of one structural cloner
+// (cloneWith): the former aliases live Values for same-weights data
+// parallelism, the latter aliases published snapshots for lagged-weights
+// pipelining. Custom SharedCloner layers alias live values by construction
+// and therefore cannot participate in SnapshotClone; networks containing
+// them must fall back to barrier-synchronized training.
+//
 // Equivalence between all tiers is enforced by property tests
 // (batch_test.go): identical outputs and ≤1e-12 gradient agreement across
 // randomized shapes, plus finite-difference checks on the batched kernels.

@@ -8,10 +8,21 @@ import (
 // Param is a learnable tensor with its accumulated gradient. Optimizers
 // update Value from Grad; Grad is accumulated across Backward calls until
 // the optimizer zeroes it.
+//
+// A Param additionally carries an optional versioned snapshot of Value
+// (snapshot.go): Snapshot materializes a stable copy that concurrent readers
+// may alias while the live Value keeps training, and Publish refreshes that
+// copy at a synchronization point chosen by the caller. Params that are
+// never snapshotted pay nothing.
 type Param struct {
 	Name  string
 	Value Vec
 	Grad  Vec
+
+	// snap is the published copy-on-write view of Value, lazily allocated
+	// by Snapshot; version counts Publish calls that refreshed it.
+	snap    Vec
+	version uint64
 }
 
 // NewParam allocates a parameter of n elements named name.

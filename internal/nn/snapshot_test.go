@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testNet(rng *rand.Rand) *Sequential {
+	return NewSequential(6,
+		NewDense(6, 8, HeInit, rng), NewLeakyReLU(0.01),
+		NewDense(8, 4, XavierInit, rng),
+	)
+}
+
+// Snapshot materializes a copy of the live value once, stays stable while the
+// live value mutates, and follows Publish in place (same backing array).
+func TestParamSnapshotPublishVersioning(t *testing.T) {
+	p := NewParam("w", 4)
+	copy(p.Value, []float64{1, 2, 3, 4})
+
+	// Publish before any snapshot is a no-op and does not bump the version.
+	p.Publish()
+	if p.Version() != 0 {
+		t.Fatalf("version %d after publish without snapshot", p.Version())
+	}
+
+	snap := p.Snapshot()
+	if &snap[0] == &p.Value[0] {
+		t.Fatal("snapshot aliases the live value")
+	}
+	for i, v := range []float64{1, 2, 3, 4} {
+		if snap[i] != v {
+			t.Fatalf("snap[%d] = %v, want %v", i, snap[i], v)
+		}
+	}
+
+	// Live mutation is invisible until Publish.
+	p.Value[0] = 99
+	if snap[0] != 1 {
+		t.Fatalf("snapshot moved with live value: %v", snap[0])
+	}
+	p.Publish()
+	if snap[0] != 99 {
+		t.Fatalf("snapshot did not follow Publish: %v", snap[0])
+	}
+	if p.Version() != 1 {
+		t.Fatalf("version %d after one publish", p.Version())
+	}
+
+	// Snapshot is idempotent: the same backing buffer every time.
+	if again := p.Snapshot(); &again[0] != &snap[0] {
+		t.Fatal("Snapshot returned a different buffer on second call")
+	}
+}
+
+// SnapshotClone outputs are frozen at the published version while the
+// original's live weights change, and advance on PublishParams without
+// re-cloning. SharedClone, by contrast, follows live weights immediately.
+func TestSnapshotCloneFreezesUntilPublish(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := testNet(rng)
+	x := []float64{0.3, -0.2, 0.8, 0.1, -0.5, 0.4}
+
+	snapC, ok := SnapshotClone(net)
+	if !ok {
+		t.Fatal("SnapshotClone rejected a built-in network")
+	}
+	sharedC, ok := SharedClone(net)
+	if !ok {
+		t.Fatal("SharedClone rejected a built-in network")
+	}
+	before := Copy(net.Forward(x))
+
+	// Perturb the live weights.
+	for _, p := range net.Params() {
+		for i := range p.Value {
+			p.Value[i] += 0.1
+		}
+	}
+	after := Copy(net.Forward(x))
+
+	snapOut := snapC.Forward(x)
+	for i := range snapOut {
+		if snapOut[i] != before[i] {
+			t.Fatalf("snapshot clone output[%d] = %v, want frozen %v", i, snapOut[i], before[i])
+		}
+	}
+	sharedOut := sharedC.Forward(x)
+	for i := range sharedOut {
+		if sharedOut[i] != after[i] {
+			t.Fatalf("shared clone output[%d] = %v, want live %v", i, sharedOut[i], after[i])
+		}
+	}
+
+	PublishParams(net.Params())
+	snapOut = snapC.Forward(x)
+	for i := range snapOut {
+		if snapOut[i] != after[i] {
+			t.Fatalf("published snapshot clone output[%d] = %v, want %v", i, snapOut[i], after[i])
+		}
+	}
+}
+
+// Two snapshot clones of one network alias the same published buffers, so a
+// single Publish updates both.
+func TestSnapshotClonesShareOneVersion(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := testNet(rng)
+	x := []float64{1, 0, -1, 0.5, 0.2, -0.3}
+
+	a, _ := SnapshotClone(net)
+	b, _ := SnapshotClone(net)
+	net.Params()[0].Value[0] += 2.5
+	PublishParams(net.Params())
+
+	ao, bo := a.Forward(x), b.Forward(x)
+	for i := range ao {
+		if ao[i] != bo[i] {
+			t.Fatalf("clone outputs diverge at %d: %v vs %v", i, ao[i], bo[i])
+		}
+	}
+}
+
+type customLayer struct{ Layer }
+
+func (c customLayer) SharedClone() Layer { return c }
+
+// Custom SharedCloner layers alias live values by construction, so
+// SnapshotClone must reject networks containing them (barrier fallback).
+func TestSnapshotCloneRejectsCustomLayers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewSequential(0, customLayer{NewDense(4, 4, HeInit, rng)})
+	if _, ok := SnapshotClone(net); ok {
+		t.Fatal("SnapshotClone accepted a custom SharedCloner layer")
+	}
+	if _, ok := SharedClone(net); !ok {
+		t.Fatal("SharedClone must still accept custom SharedCloner layers")
+	}
+}
+
+// SnapshotParams materializes every param so one PublishParams covers the
+// whole network even for params first read later.
+func TestSnapshotParamsMaterializesAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := testNet(rng)
+	ps := net.Params()
+	SnapshotParams(ps)
+	for i, p := range ps {
+		p.Value[0] += 1
+		p.Publish()
+		if p.Version() != 1 {
+			t.Fatalf("param %d version %d, want 1", i, p.Version())
+		}
+		if got := p.Snapshot()[0]; got != p.Value[0] {
+			t.Fatalf("param %d snapshot %v, want %v", i, got, p.Value[0])
+		}
+	}
+}

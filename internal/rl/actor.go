@@ -33,6 +33,26 @@ func (s *Scheduler) Actor() (*Actor, bool) {
 	return &Actor{s: s, net: c.(*nn.Sequential), rng: rand.New(rand.NewSource(s.cfg.Seed))}, true
 }
 
+// SnapshotActor returns a rollout actor whose policy network reads the
+// published copy-on-write weight snapshot (nn.SnapshotClone) instead of the
+// live weights, so it may sample episodes concurrently with REINFORCE
+// updates on the master — the scalar-RL side of pipelined rollout-training.
+// The weights it sees advance only at PublishWeights, which must run with no
+// snapshot actor mid-rollout. It reports false when the network cannot be
+// snapshot-cloned; there is no borrow-the-master fallback.
+func (s *Scheduler) SnapshotActor() (*Actor, bool) {
+	c, ok := nn.SnapshotClone(s.net)
+	if !ok {
+		return nil, false
+	}
+	return &Actor{s: s, net: c.(*nn.Sequential), rng: rand.New(rand.NewSource(s.cfg.Seed))}, true
+}
+
+// PublishWeights copies the live policy weights into the snapshot read by
+// SnapshotActor clones (nn.PublishParams). Call it only at a synchronization
+// point with no snapshot actor mid-rollout.
+func (s *Scheduler) PublishWeights() { nn.PublishParams(s.net.Params()) }
+
 var _ sched.Picker = (*Actor)(nil)
 
 // Reset prepares the actor for one episode: a fresh sampling rng at the

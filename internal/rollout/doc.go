@@ -40,6 +40,27 @@
 //     iteration effects (see internal/sim), so an episode's transcript is a
 //     pure function of its job set, the policy weights, and the episode rng.
 //
+//  6. Pipelined mode (Config.Pipelined) overlaps round k+1's collection
+//     with round k's reduction. Actors then read the published copy-on-write
+//     weight snapshot (nn.Param versioning, via SnapshotLearner) instead of
+//     the live weights; the snapshot advances only at round boundaries, with
+//     no rollout in flight. Collection of round r therefore acts on the
+//     weights as of the end of round r-2's reduction — a one-round policy
+//     lag.
+//
+//  7. Pipelined runs keep rules 1-2 (episode-keyed rngs, episode-order
+//     reduction on one goroutine), so a fixed (Seed, Workers) pair is
+//     bitwise reproducible run to run in pipelined mode too. Pipelined and
+//     barrier runs differ from each other — the lagged snapshot is a
+//     different (equally valid) interleaving, exactly as two worker counts
+//     are — and Pipelined=false remains the barrier reference, unchanged.
+//
+//  8. AfterEpisode always runs on the reduction goroutine with the live
+//     weights stable. In barrier mode no rollouts are in flight at all; in
+//     pipelined mode the next round's rollouts are in flight but touch only
+//     the published snapshot, so read-only evaluation of the learner (the
+//     §IV-A validation protocol) remains race-free.
+//
 // The serial paths retained elsewhere (core.TrainCurriculum and the
 // training-mode Act of dfp.Agent/rl.Scheduler) draw exploration and replay
 // sampling from one shared agent rng; the harness instead gives each episode

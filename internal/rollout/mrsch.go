@@ -31,6 +31,21 @@ func (l *mrschLearner) Spawn() (Actor, bool) {
 	return &mrschActor{l: l, a: a}, parallel
 }
 
+// SpawnSnapshot implements SnapshotLearner: actors read the published
+// weight snapshot (core.MRSch.SnapshotActor), so they may roll out while
+// Reduce's gradient steps mutate the live weights (Config.Pipelined).
+func (l *mrschLearner) SpawnSnapshot() (Actor, bool) {
+	a, ok := l.m.SnapshotActor()
+	if !ok {
+		return nil, false
+	}
+	return &mrschActor{l: l, a: a}, true
+}
+
+// Publish implements SnapshotLearner: advance the snapshot to the live
+// weights at a round boundary.
+func (l *mrschLearner) Publish() { l.m.PublishWeights() }
+
 func (l *mrschLearner) Reduce(ep Episode, tr Transcript) (core.EpisodeResult, error) {
 	t, ok := tr.(*dfp.Transcript)
 	if !ok {

@@ -1,0 +1,143 @@
+// Pipelined rollout-training: collection of round k+1 overlaps the gradient
+// steps on round k's transcripts. The barrier mode (rollout.go) serializes
+// the two phases for its reproducibility-reference role; on a multicore host
+// that leaves the learner idle while workers roll out and the workers idle
+// while the learner trains. Pipelining removes the idle halves by splitting
+// the weights in two:
+//
+//   - Actors read the published copy-on-write weight snapshot (nn.Param
+//     versioning via SnapshotLearner.SpawnSnapshot), frozen for the duration
+//     of a round.
+//
+//   - The learner reduces transcripts and steps the live weights on the
+//     reduction goroutine, concurrently with the in-flight collection.
+//
+// At each round boundary — the only synchronization point — the in-flight
+// collection is joined and the live weights are published into the snapshot.
+// Collection of round r therefore acts on the weights as of the end of round
+// r-2's reduction: a one-round policy lag, the classic trade of asynchronous
+// actor-learner schedulers (MARS and the original A3C line), in exchange for
+// hiding rollout latency behind training. Determinism is preserved: episode
+// rngs are keyed to the episode index (rule 1 of the package contract),
+// transcripts are reduced in episode order on one goroutine, and the
+// snapshot a round sees is a pure function of (seed, workers), so a fixed
+// (Seed, Workers) pair is bitwise reproducible run to run — it just differs
+// from the barrier interleaving, exactly as two worker counts differ from
+// each other.
+package rollout
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// SnapshotLearner is a Learner whose actors can roll out against a published
+// copy-on-write weight snapshot while the live weights train — the
+// capability Config.Pipelined requires. Implemented by the MRSch and
+// scalar-RL adapters over dfp.Agent.SnapshotActor / rl.Scheduler.
+type SnapshotLearner interface {
+	Learner
+	// SpawnSnapshot returns a per-worker actor reading the published weight
+	// snapshot. false means the learner cannot snapshot its networks (e.g. a
+	// custom module outside nn.SnapshotClone's substrate); pipelined
+	// training is then impossible and Train reports a clear error rather
+	// than borrowing master state.
+	SpawnSnapshot() (Actor, bool)
+	// Publish copies the live weights into the snapshot the actors read.
+	// The harness calls it only at round boundaries, with no rollout in
+	// flight.
+	Publish()
+}
+
+// pipeRound is one double-buffered collection slot: the transcripts and
+// rollout errors of episodes [start, start+cnt).
+type pipeRound struct {
+	trs   []Transcript
+	errs  []error
+	start int
+	cnt   int
+}
+
+// trainPipelined runs Train's pipelined mode: round r+1 is collected by a
+// background goroutine against the current snapshot while round r reduces
+// inline, with a join + publish at every round boundary. See the file doc
+// for the synchronization argument and the package doc for the determinism
+// contract (rules 6-8).
+func trainPipelined(l Learner, cfg Config, sets []core.JobSet) ([]core.EpisodeResult, error) {
+	sl, ok := l.(SnapshotLearner)
+	if !ok {
+		return nil, fmt.Errorf("rollout: Config.Pipelined requires a SnapshotLearner, %T is not one (unset Pipelined for barrier mode)", l)
+	}
+	n := len(sets)
+	if n == 0 {
+		return nil, nil
+	}
+	w := cfg.resolveWorkers()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	actors := make([]Actor, w)
+	for i := range actors {
+		a, parallel := sl.SpawnSnapshot()
+		if !parallel {
+			return nil, fmt.Errorf("rollout: Config.Pipelined requires snapshot-capable actors, but %T cannot clone its networks (custom module?); unset Pipelined for barrier mode", l)
+		}
+		actors[i] = a
+	}
+	// Materialize + publish the initial snapshot before any rollout.
+	sl.Publish()
+
+	newRound := func() *pipeRound {
+		return &pipeRound{trs: make([]Transcript, w), errs: make([]error, w)}
+	}
+	collect := func(r *pipeRound, start, cnt int) {
+		r.start, r.cnt = start, cnt
+		dispatch(cnt, cnt, func(worker, i int) {
+			r.trs[i], r.errs[i] = actors[worker].Rollout(episodeAt(cfg, sets, start+i))
+		})
+	}
+
+	cur, nxt := newRound(), newRound()
+	collect(cur, 0, min(w, n)) // prime the pipeline: nothing to overlap yet
+
+	results := make([]core.EpisodeResult, 0, n)
+	for {
+		// Launch the next round against the current snapshot before
+		// reducing this one — the overlap that is the point of the mode.
+		var done chan struct{}
+		if next := cur.start + cur.cnt; next < n {
+			done = make(chan struct{})
+			go func(r *pipeRound, start, cnt int) {
+				defer close(done)
+				collect(r, start, cnt)
+			}(nxt, next, min(w, n-next))
+		}
+
+		// Reduce the current round inline, in episode order.
+		var loopErr error
+		for i := 0; i < cur.cnt; i++ {
+			if results, loopErr = reduceEpisode(l, cfg, sets, cur.start+i, cur.trs[i], cur.errs[i], results); loopErr != nil {
+				break
+			}
+		}
+
+		// Round boundary: join the in-flight collection even on error (no
+		// goroutine may outlive the call), then publish the post-reduction
+		// weights for the round after next.
+		if done != nil {
+			<-done
+		}
+		if loopErr != nil {
+			return results, loopErr
+		}
+		if done == nil {
+			return results, nil
+		}
+		sl.Publish()
+		cur, nxt = nxt, cur
+	}
+}

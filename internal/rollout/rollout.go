@@ -21,11 +21,21 @@ type Config struct {
 	// private rng seeded EpisodeSeed(Seed, i), independent of which worker
 	// runs it and of the worker count.
 	Seed int64
+	// Pipelined overlaps episode collection with training: while the
+	// learner reduces round k's transcripts, round k+1 is already rolling
+	// out against the weight snapshot published at the previous round
+	// boundary (see pipeline.go and the package doc's pipelined rules). It
+	// requires a SnapshotLearner — Train returns an error otherwise rather
+	// than silently falling back to barrier mode. false keeps the barrier
+	// reference: collect, then train, with no overlap.
+	Pipelined bool
 	// AfterEpisode, when non-nil, runs on the reduction goroutine after each
 	// episode is folded into the learner, in episode order. Model-selection
 	// protocols (§IV-A validation) hook in here; returning an error aborts
-	// the run. The learner's weights are stable during the call: no rollouts
-	// are in flight between rounds.
+	// the run. The learner's live weights are stable during the call: in
+	// barrier mode no rollouts are in flight at all, and in pipelined mode
+	// the only concurrent rollouts read the published snapshot, never the
+	// live weights, so read-only evaluation of the learner remains safe.
 	AfterEpisode func(episode int, r core.EpisodeResult) error
 }
 
@@ -87,7 +97,21 @@ type Learner interface {
 // own slot in the exploration schedule, so for a fixed (Seed, Workers) pair
 // the full result stream — including final network weights — is bitwise
 // reproducible run to run, and Workers=1 reproduces TrainSerial exactly.
+//
+// With cfg.Pipelined set, Train instead overlaps round k+1's collection with
+// round k's reduction against a versioned weight snapshot (pipeline.go); the
+// barrier loop below is retained verbatim as the bitwise-reproducibility
+// reference that Pipelined=false must (and trivially does) match.
 func Train(l Learner, cfg Config, sets []core.JobSet) ([]core.EpisodeResult, error) {
+	if cfg.Pipelined {
+		return trainPipelined(l, cfg, sets)
+	}
+	return trainBarrier(l, cfg, sets)
+}
+
+// trainBarrier is the round-barrier training loop: collect a round, then
+// reduce it, with no overlap between the phases.
+func trainBarrier(l Learner, cfg Config, sets []core.JobSet) ([]core.EpisodeResult, error) {
 	n := len(sets)
 	w := cfg.resolveWorkers()
 	if w > n {
@@ -119,20 +143,33 @@ func Train(l Learner, cfg Config, sets []core.JobSet) ([]core.EpisodeResult, err
 			trs[i], errs[i] = actors[worker].Rollout(episodeAt(cfg, sets, start+i))
 		})
 		for i := 0; i < cnt; i++ {
-			idx := start + i
-			if errs[i] != nil {
-				return results, fmt.Errorf("rollout: episode %d (%s): %w", idx, sets[idx].Kind, errs[i])
+			var err error
+			if results, err = reduceEpisode(l, cfg, sets, start+i, trs[i], errs[i], results); err != nil {
+				return results, err
 			}
-			r, err := l.Reduce(episodeAt(cfg, sets, idx), trs[i])
-			if err != nil {
-				return results, fmt.Errorf("rollout: reduce episode %d (%s): %w", idx, sets[idx].Kind, err)
-			}
-			results = append(results, r)
-			if cfg.AfterEpisode != nil {
-				if err := cfg.AfterEpisode(idx, r); err != nil {
-					return results, err
-				}
-			}
+		}
+	}
+	return results, nil
+}
+
+// reduceEpisode folds one collected episode into the learner: surface the
+// rollout error, Reduce the transcript, record the result, and run the
+// AfterEpisode hook. It is the per-episode sequence shared by trainBarrier
+// and trainPipelined, so the two modes cannot drift apart in error wrapping
+// or hook semantics; TrainSerial keeps its own inline copy as the
+// independent reference loop.
+func reduceEpisode(l Learner, cfg Config, sets []core.JobSet, idx int, tr Transcript, rollErr error, results []core.EpisodeResult) ([]core.EpisodeResult, error) {
+	if rollErr != nil {
+		return results, fmt.Errorf("rollout: episode %d (%s): %w", idx, sets[idx].Kind, rollErr)
+	}
+	r, err := l.Reduce(episodeAt(cfg, sets, idx), tr)
+	if err != nil {
+		return results, fmt.Errorf("rollout: reduce episode %d (%s): %w", idx, sets[idx].Kind, err)
+	}
+	results = append(results, r)
+	if cfg.AfterEpisode != nil {
+		if err := cfg.AfterEpisode(idx, r); err != nil {
+			return results, err
 		}
 	}
 	return results, nil

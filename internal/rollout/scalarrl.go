@@ -29,6 +29,21 @@ func (l *scalarRLLearner) Spawn() (Actor, bool) {
 	return &scalarRLActor{l: l, a: a}, parallel
 }
 
+// SpawnSnapshot implements SnapshotLearner: actors sample trajectories
+// against the published weight snapshot (rl.Scheduler.SnapshotActor), so
+// collection may overlap the REINFORCE updates (Config.Pipelined).
+func (l *scalarRLLearner) SpawnSnapshot() (Actor, bool) {
+	a, ok := l.s.SnapshotActor()
+	if !ok {
+		return nil, false
+	}
+	return &scalarRLActor{l: l, a: a}, true
+}
+
+// Publish implements SnapshotLearner: advance the snapshot to the live
+// weights at a round boundary.
+func (l *scalarRLLearner) Publish() { l.s.PublishWeights() }
+
 func (l *scalarRLLearner) Reduce(ep Episode, tr Transcript) (core.EpisodeResult, error) {
 	t, ok := tr.(*rl.Trajectory)
 	if !ok {
