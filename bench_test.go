@@ -39,7 +39,11 @@ var (
 
 func sharedCampaign() *experiments.Campaign {
 	campaignOnce.Do(func() {
-		campaign = experiments.NewCampaign(experiments.QuickScale())
+		c, err := experiments.NewCampaign(experiments.QuickScale())
+		if err != nil {
+			panic(err)
+		}
+		campaign = c
 	})
 	return campaign
 }

@@ -1,14 +1,31 @@
 // Command mrsch-exp regenerates the paper's evaluation figures (§V) as text
-// tables: the MLP-vs-CNN ablation (Figure 3), curriculum orderings
+// tables — the MLP-vs-CNN ablation (Figure 3), curriculum orderings
 // (Figure 4), the four-method comparison (Figures 5-7), dynamic resource
 // prioritizing (Figures 8-9), the three-resource case study (Figure 10),
-// and the Figure 1 motivating example.
+// and the Figure 1 motivating example — and runs declarative scenario
+// campaigns (internal/scenario).
 //
 // Usage:
 //
 //	mrsch-exp [-scale quick|standard|tiny] [-fig all|1|3|4|5|6|7|8|9|10|sweep] [-parallel 4] [-pipeline]
+//	mrsch-exp -campaign spec.json [-parallel 4] [-pipeline]
+//	mrsch-exp -campaign paper|theta-variants [-scale quick]
+//	mrsch-exp -dump-campaign paper|theta-variants [-scale quick]
+//	mrsch-exp -list
 //
-// -parallel N runs training rollouts and sweep evaluation episodes on N
+// -campaign runs a campaign spec: a JSON file (see -dump-campaign for the
+// format), or a builtin campaign name. Cells fan out across the -parallel
+// worker pool; per-cell seeding derives from the cell's grid index, so
+// results are identical for every worker count.
+//
+// -dump-campaign writes a builtin campaign as JSON to stdout at the
+// selected -scale — the starting point for custom specs, and the golden
+// file CI pins (specs/paper-campaign.json).
+//
+// -list prints the builtin scenarios, methods, theta-variant axes, and
+// campaigns, generated from the spec registry.
+//
+// -parallel N runs training rollouts and campaign evaluation episodes on N
 // simulator environments concurrently (0 = all CPU cores). The "sweep"
 // figure fans the full S1-S10 x method scenario grid across the same worker
 // pool. Results are reproducible for any fixed N (see internal/rollout).
@@ -29,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -37,7 +55,15 @@ func main() {
 	seed := flag.Int64("seed", 0, "override campaign seed (0 keeps the scale default)")
 	parallel := flag.Int("parallel", 1, "parallel rollout environments (0 = all CPU cores)")
 	pipeline := flag.Bool("pipeline", false, "overlap collection with training against a versioned weight snapshot")
+	campaignFlag := flag.String("campaign", "", "run a campaign: a spec JSON file or a builtin name (paper, theta-variants)")
+	dumpFlag := flag.String("dump-campaign", "", "write a builtin campaign spec (paper, theta-variants) as JSON to stdout and exit")
+	listFlag := flag.Bool("list", false, "list builtin scenarios, methods, theta-variant axes, and campaigns, then exit")
 	flag.Parse()
+
+	if *listFlag {
+		printRegistry()
+		return
+	}
 
 	// A negative -parallel used to fall back to all cores silently via the
 	// rollout.ResolveWorkers n<=0 convention; reject it instead.
@@ -46,36 +72,113 @@ func main() {
 		os.Exit(2)
 	}
 
-	var sc experiments.Scale
-	switch *scaleFlag {
-	case "quick":
-		sc = experiments.QuickScale()
-	case "standard":
-		sc = experiments.StandardScale()
-	case "tiny":
-		sc = experiments.QuickScale()
-		sc.Name = "tiny"
-		sc.Div = 64
-		sc.TraceDuration = 0.4 * 86400
-		sc.SetsPerKind = 2
-		sc.SetSize = 30
-	default:
-		fmt.Fprintf(os.Stderr, "mrsch-exp: unknown scale %q\n", *scaleFlag)
+	scaleSpec, err := scenario.ScaleByName(*scaleFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrsch-exp: %v\n", err)
 		os.Exit(2)
 	}
 	if *seed != 0 {
-		sc.Seed = *seed
+		scaleSpec.Seed = *seed
 	}
-	sc.RolloutWorkers = *parallel
-	sc.Pipelined = *pipeline
+
+	if *dumpFlag != "" {
+		spec, err := scenario.CampaignByName(*dumpFlag, scaleSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrsch-exp: %v\n", err)
+			os.Exit(2)
+		}
+		if err := spec.Dump(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mrsch-exp: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *campaignFlag != "" {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		runCampaign(*campaignFlag, scaleSpec, *parallel, *pipeline, set["scale"], set["seed"], *seed)
+		return
+	}
+
+	runFigures(scaleSpec, *figFlag, *parallel, *pipeline)
+}
+
+// runCampaign resolves a builtin name or spec file and runs it. A spec
+// file carries its own scale, so an explicit -scale is rejected rather
+// than silently ignored; an explicit -seed overrides the file's seed.
+func runCampaign(ref string, scaleSpec scenario.ScaleSpec, parallel int, pipeline bool, scaleSet, seedSet bool, seed int64) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "mrsch-exp: %v\n", err)
+		os.Exit(1)
+	}
+	spec, err := scenario.CampaignByName(ref, scaleSpec)
+	if err != nil {
+		f, ferr := os.Open(ref)
+		if ferr != nil {
+			fail(fmt.Errorf("-campaign %q is neither a builtin campaign nor a readable spec file: %w", ref, ferr))
+		}
+		spec, err = scenario.Load(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		if scaleSet {
+			fail(fmt.Errorf("-scale applies to builtin campaigns only; spec file %s carries its own scale (%s)", ref, spec.Scale.Name))
+		}
+		if seedSet {
+			spec.Scale.Seed = seed
+		}
+	}
+	fmt.Printf("MRSch campaign %s — scale=%s (Theta/%d, seed %d), %d scenarios x %d methods\n\n",
+		spec.Name, spec.Scale.Name, spec.Scale.Div, spec.Scale.Seed, len(spec.Scenarios), len(spec.Methods))
+	start := time.Now()
+	results, err := experiments.RunCampaign(spec, experiments.CampaignOptions{Workers: parallel, Pipelined: pipeline})
+	// Cell failures don't abort the rest of the grid: print whatever
+	// completed before reporting the failures.
+	if len(results) > 0 {
+		experiments.FprintCells(os.Stdout, spec.Name, results)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\ncampaign finished in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// printRegistry renders the builtin spec registry (-list).
+func printRegistry() {
+	fmt.Println("Builtin scenarios:")
+	for _, sp := range scenario.Builtins() {
+		fmt.Printf("  %-4s (%d resources)  %s\n", sp.Name, sp.Arity(), sp.Describe())
+	}
+	fmt.Println("\nMethods:")
+	for _, k := range scenario.Kinds() {
+		m := scenario.MethodSpec{Kind: k}
+		fmt.Printf("  %-13s (kind %-12s)  %s\n", m.DisplayName(), k, m.Describe())
+	}
+	fmt.Println("\nTheta-variant axes (scenario suffix: S4@<short>=<value>):")
+	for _, ax := range scenario.Axes() {
+		fmt.Printf("  %-15s (short %-3s, ladder %v)  %s\n", ax.Name, ax.Short, ax.Values, ax.Description)
+	}
+	fmt.Println("\nBuiltin campaigns (-campaign / -dump-campaign):")
+	for _, c := range scenario.BuiltinCampaigns(scenario.QuickScaleSpec()) {
+		fmt.Printf("  %-15s %d scenarios x %d methods  %s\n", c.Name, len(c.Scenarios), len(c.Methods), c.Description)
+	}
+}
+
+// runFigures reproduces the paper figures (the legacy mode).
+func runFigures(scaleSpec scenario.ScaleSpec, figs string, parallel int, pipeline bool) {
+	sc := experiments.ScaleFromSpec(scaleSpec)
+	sc.RolloutWorkers = parallel
+	sc.Pipelined = pipeline
 
 	want := map[string]bool{}
-	if *figFlag == "all" {
+	if figs == "all" {
 		for _, f := range []string{"1", "3", "4", "5", "6", "7", "8", "9", "10", "ablations", "sweep"} {
 			want[f] = true
 		}
 	} else {
-		for _, f := range strings.Split(*figFlag, ",") {
+		for _, f := range strings.Split(figs, ",") {
 			want[strings.TrimSpace(f)] = true
 		}
 	}
@@ -87,11 +190,15 @@ func main() {
 	fmt.Printf("MRSch experiment campaign — scale=%s (Theta/%d, window %d, seed %d, %s training)\n\n",
 		sc.Name, sc.Div, sc.Window, sc.Seed, mode)
 	start := time.Now()
-	c := experiments.NewCampaign(sc)
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "mrsch-exp: %v\n", err)
 		os.Exit(1)
+	}
+
+	c, err := experiments.NewCampaign(sc)
+	if err != nil {
+		fail(err)
 	}
 
 	if want["1"] {

@@ -1,7 +1,8 @@
 // Command mrsch-sim replays one workload through one scheduling method and
 // prints the §IV-B metrics. It is the single-run counterpart of mrsch-exp:
 // useful for trying a scheduler on a generated trace file or on a built-in
-// Table III scenario.
+// Table III scenario (theta-variant syntax works too, e.g. "S4@wtn=0.5";
+// see internal/scenario).
 //
 // Usage:
 //
@@ -20,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/job"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -59,11 +61,14 @@ func main() {
 		policy := sched.NewWindowPolicy(experiments.NewGA(sc.Seed+29), sc.Window)
 		report, err = experiments.Evaluate(sys, policy, jobs, experiments.MethodOptimize, *wl, powerIdx)
 	case "rl":
-		m := experiments.Prepare(sc)
+		m, perr := experiments.Prepare(sc)
+		if perr != nil {
+			fail(perr)
+		}
 		var agent interface {
 			Policy() *sched.WindowPolicy
 		}
-		agent, err = experiments.TrainScalarRL(m, *wl, sys, power)
+		agent, err = experiments.TrainScalarRL(m, trainingFamily(*wl), sys, power)
 		if err == nil {
 			report, err = experiments.Evaluate(sys, agent.Policy(), jobs, experiments.MethodScalarRL, *wl, powerIdx)
 		}
@@ -103,13 +108,19 @@ func loadWorkload(sc experiments.Scale, wl, traceFile string, div int) (cluster.
 		}
 		return workload.ThetaScaled(div), jobs, false
 	}
-	m := experiments.Prepare(sc)
-	for _, name := range experiments.PowerWorkloadNames() {
-		if name == wl {
-			return sc.PowerSystem(), m.PowerWorkload(wl), true
-		}
+	m, err := experiments.Prepare(sc)
+	if err != nil {
+		fail(err)
 	}
-	return sc.System(), m.Workload(wl), false
+	sp, err := scenario.ByName(wl)
+	if err != nil {
+		fail(err)
+	}
+	jobs, err := m.WorkloadSpec(sp)
+	if err != nil {
+		fail(err)
+	}
+	return m.SystemFor(sp), jobs, sp.Power
 }
 
 // mrschAgent loads pre-trained weights or trains in-process.
@@ -126,12 +137,25 @@ func mrschAgent(sc experiments.Scale, wl string, power bool, model string) (*cor
 		}
 		return agent, nil
 	}
-	m := experiments.Prepare(sc)
-	if power {
-		return experiments.TrainMRSchPower(m, wl)
+	m, err := experiments.Prepare(sc)
+	if err != nil {
+		return nil, err
 	}
-	agent, _, err := experiments.TrainMRSch(m, wl, false)
+	if power {
+		return experiments.TrainMRSchPower(m, trainingFamily(wl))
+	}
+	agent, _, err := experiments.TrainMRSch(m, trainingFamily(wl), false)
 	return agent, err
+}
+
+// trainingFamily resolves the workload's model family: theta variants train
+// on their base scenario's curriculum (matching the campaign runner) and
+// are evaluated on the variant workload. Trace-file labels pass through.
+func trainingFamily(wl string) string {
+	if sp, err := scenario.ByName(wl); err == nil {
+		return sp.FamilyName()
+	}
+	return wl
 }
 
 func fail(err error) {

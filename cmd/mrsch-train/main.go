@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/rollout"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -63,6 +64,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Reject unknown workloads before generating materials; curricula exist
+	// for the two-resource Table III scenarios only.
+	if sp, err := scenario.ByName(*wl); err != nil {
+		fmt.Fprintf(os.Stderr, "mrsch-train: %v\n", err)
+		os.Exit(2)
+	} else if sp.Power || sp.IsVariant() {
+		fmt.Fprintf(os.Stderr, "mrsch-train: -workload %s: train on a Table III base scenario (S1-S5); power and theta-variant cells reuse their family's model\n", *wl)
+		os.Exit(2)
+	}
+
 	sc.RolloutWorkers = *parallel
 	sc.Pipelined = *pipeline
 
@@ -70,12 +81,15 @@ func main() {
 	if sc.Pipelined {
 		mode = "pipelined"
 	}
-	m := experiments.Prepare(sc)
+	m, err := experiments.Prepare(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrsch-train: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("training MRSch on %s (scale %s: Theta/%d, %d sets x %d jobs per kind, %d rollout workers, %s)\n",
 		*wl, sc.Name, sc.Div, sc.SetsPerKind, sc.SetSize, rollout.ResolveWorkers(sc.RolloutWorkers), mode)
 	var agent *core.MRSch
 	var results []core.EpisodeResult
-	var err error
 	if *validate {
 		var best core.ValidationMetrics
 		agent, results, best, err = experiments.TrainMRSchValidated(m, *wl)

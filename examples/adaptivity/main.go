@@ -26,7 +26,10 @@ func main() {
 	sc.TraceDuration = 0.5 * 86400
 	sc.SetsPerKind = 3
 	sc.SetSize = 50
-	c := experiments.NewCampaign(sc)
+	c, err := experiments.NewCampaign(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	samples, err := experiments.Figure8(c)
 	if err != nil {

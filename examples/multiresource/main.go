@@ -32,7 +32,10 @@ func main() {
 	sc.SetSize = 50
 
 	fmt.Printf("comparing 4 methods on %s (Theta/%d, %.1f-day trace)\n\n", *wl, sc.Div, sc.TraceDuration/86400)
-	c := experiments.NewCampaign(sc)
+	c, err := experiments.NewCampaign(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
 	sys := sc.System()
 	jobs := c.M.Workload(*wl)
 

@@ -30,7 +30,10 @@ func main() {
 	fmt.Printf("three-resource system: %d nodes, %d TB burst buffer, %d kW power budget\n\n",
 		psys.Capacities[0], psys.Capacities[1], psys.Capacities[2])
 
-	c := experiments.NewCampaign(sc)
+	c, err := experiments.NewCampaign(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
 	jobs := c.M.PowerWorkload("S9")
 
 	agent, err := c.MRSchAgent("S9", false, true)

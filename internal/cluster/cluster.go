@@ -23,6 +23,19 @@ type Config struct {
 	Capacities []int
 }
 
+// ResourceIndex returns the index of the named resource, or -1 when the
+// configuration does not schedule it. Callers use it instead of hard-coding
+// positional conventions ("power is index 2") that break as soon as a
+// campaign spec reorders or extends the resource set.
+func (c Config) ResourceIndex(name string) int {
+	for i, r := range c.Resources {
+		if r == name {
+			return i
+		}
+	}
+	return -1
+}
+
 // Validate checks the configuration is usable.
 func (c *Config) Validate() error {
 	if len(c.Resources) == 0 {

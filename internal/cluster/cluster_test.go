@@ -232,3 +232,19 @@ func TestEarliestFitProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestResourceIndex(t *testing.T) {
+	cfg := Config{
+		Name:       "t",
+		Resources:  []string{"nodes", "bb_tb", "power_kw"},
+		Capacities: []int{4, 2, 2},
+	}
+	for i, name := range cfg.Resources {
+		if got := cfg.ResourceIndex(name); got != i {
+			t.Fatalf("ResourceIndex(%q) = %d, want %d", name, got, i)
+		}
+	}
+	if got := cfg.ResourceIndex("gpu"); got != -1 {
+		t.Fatalf("ResourceIndex(gpu) = %d, want -1", got)
+	}
+}

@@ -6,7 +6,7 @@ import (
 )
 
 func TestAblationGoalDynamicVsFixed(t *testing.T) {
-	c := NewCampaign(tinyScale())
+	c := mustCampaign(t, tinyScale())
 	rows, err := AblationGoal(c)
 	if err != nil {
 		t.Fatal(err)
@@ -35,7 +35,7 @@ func TestAblationGoalDynamicVsFixed(t *testing.T) {
 }
 
 func TestAblationStateNets(t *testing.T) {
-	m := Prepare(tinyScale())
+	m := MustPrepare(tinyScale())
 	rows, err := AblationStateNets(m)
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +51,7 @@ func TestAblationStateNets(t *testing.T) {
 }
 
 func TestAblationWindowSweep(t *testing.T) {
-	m := Prepare(tinyScale())
+	m := MustPrepare(tinyScale())
 	rows, err := AblationWindow(m, []int{1, 4})
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +65,7 @@ func TestAblationWindowSweep(t *testing.T) {
 }
 
 func TestAblationBackfill(t *testing.T) {
-	m := Prepare(tinyScale())
+	m := MustPrepare(tinyScale())
 	rows, err := AblationBackfill(m)
 	if err != nil {
 		t.Fatal(err)
@@ -78,7 +78,7 @@ func TestAblationBackfill(t *testing.T) {
 }
 
 func TestAblationPickers(t *testing.T) {
-	m := Prepare(tinyScale())
+	m := MustPrepare(tinyScale())
 	rows, err := AblationPickers(m)
 	if err != nil {
 		t.Fatal(err)

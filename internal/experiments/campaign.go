@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rl"
+	"repro/internal/rollout"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+)
+
+// This file runs declarative campaigns (internal/scenario): the spec's
+// scenario x method x seed axes expand into cells, per-cell base materials
+// and per-family trained models resolve serially up front, and the cells
+// then fan out across the internal/rollout worker pool as independent
+// evaluation episodes. Per-cell seeding derives from Cell.Index, so results
+// are identical for every worker count.
+
+// CellResult pairs one expanded campaign cell with its §IV-B metrics.
+type CellResult struct {
+	Cell   scenario.Cell
+	Report metrics.Report
+}
+
+// CampaignOptions are the runtime knobs deliberately kept out of the
+// serialized spec: how wide to fan out, and the training mode for
+// in-process family models.
+type CampaignOptions struct {
+	// Workers bounds parallel evaluation episodes and training rollout
+	// environments (0 = all CPU cores).
+	Workers int
+	// Pipelined trains family models with collection overlapped against a
+	// versioned weight snapshot (rollout.Config.Pipelined).
+	Pipelined bool
+}
+
+// campaignRun holds the resolved state shared by a campaign's cells. All
+// maps are populated serially before cells fan out and are read-only
+// afterwards.
+type campaignRun struct {
+	spec      scenario.CampaignSpec
+	baseScale Scale
+	materials map[string]*Materials
+	mrsch     map[string]*core.MRSch
+	scalarRL  map[string]*rl.Scheduler
+}
+
+// RunCampaign validates and expands the spec, resolves variant materials
+// and family models, and evaluates every cell, returning results in
+// expansion order. Cell failures don't abort the rest of the grid; the
+// returned error names every failed cell.
+func RunCampaign(spec scenario.CampaignSpec, opt CampaignOptions) ([]CellResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	baseScale := ScaleFromSpec(spec.Scale)
+	baseScale.RolloutWorkers = opt.Workers
+	baseScale.Pipelined = opt.Pipelined
+	run := &campaignRun{
+		spec:      spec,
+		baseScale: baseScale,
+		materials: make(map[string]*Materials),
+		mrsch:     make(map[string]*core.MRSch),
+		scalarRL:  make(map[string]*rl.Scheduler),
+	}
+	cells := spec.Expand()
+	for _, cell := range cells {
+		if _, err := run.resolveMaterials(cell); err != nil {
+			return nil, fmt.Errorf("experiments: campaign %s: %s: %w", spec.Name, cell.Label(), err)
+		}
+	}
+	for _, cell := range cells {
+		if err := run.resolveModel(cell); err != nil {
+			return nil, fmt.Errorf("experiments: campaign %s: %s: %w", spec.Name, cell.Label(), err)
+		}
+	}
+	return run.evalCells(cells, opt.Workers)
+}
+
+// evalCells fans the prepared cells across the worker pool.
+func (r *campaignRun) evalCells(cells []scenario.Cell, workers int) ([]CellResult, error) {
+	results, errs := rollout.MapCollect(workers, cells, func(_, _ int, cell scenario.Cell) (CellResult, error) {
+		return r.evalCell(cell)
+	})
+	var failed []string
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Sprintf("%s: %v", cells[i].Label(), err))
+		}
+	}
+	if failed != nil {
+		return results, fmt.Errorf("experiments: campaign %s: %d cell(s) failed: %s",
+			r.spec.Name, len(failed), strings.Join(failed, "; "))
+	}
+	return results, nil
+}
+
+// scaleFor derives the cell's effective scale: the campaign scale with the
+// cell's replicate seed and the scenario's base-trace overrides applied.
+func (r *campaignRun) scaleFor(cell scenario.Cell) Scale {
+	sc := r.baseScale
+	if cell.Seed != 0 {
+		sc.Seed = cell.Seed
+	}
+	sp := cell.Scenario
+	if sp.Div > 0 {
+		sc.Div = sp.Div
+	}
+	if sp.InterarrivalScale > 0 && sp.InterarrivalScale != 1 {
+		sc.MeanInterarrival *= sp.InterarrivalScale
+	}
+	return sc
+}
+
+func materialsKey(sc Scale) string {
+	return fmt.Sprintf("div=%d|ia=%g|seed=%d", sc.Div, sc.MeanInterarrival, sc.Seed)
+}
+
+// resolveMaterials prepares (and caches) the cell's base materials. Called
+// serially before the fan-out; evalCell only reads the cache.
+func (r *campaignRun) resolveMaterials(cell scenario.Cell) (*Materials, error) {
+	sc := r.scaleFor(cell)
+	key := materialsKey(sc)
+	if m, ok := r.materials[key]; ok {
+		return m, nil
+	}
+	m, err := Prepare(sc)
+	if err != nil {
+		return nil, err
+	}
+	if sp := cell.Scenario; sp.InterarrivalScale > 0 && sp.InterarrivalScale != 1 {
+		m.InterarrivalScale = sp.InterarrivalScale
+	}
+	r.materials[key] = m
+	return m, nil
+}
+
+func (r *campaignRun) materialsOf(cell scenario.Cell) *Materials {
+	return r.materials[materialsKey(r.scaleFor(cell))]
+}
+
+// modelKey identifies one trained model: a method's model is shared by
+// every cell whose scenario family, arity, and base materials match.
+func (r *campaignRun) modelKey(cell scenario.Cell) string {
+	sp := cell.Scenario
+	return fmt.Sprintf("%s|%s|cnn=%v|power=%v|file=%s|%s",
+		cell.Method.Kind, sp.FamilyName(), cell.Method.CNN, sp.Power,
+		cell.Method.Model, materialsKey(r.scaleFor(cell)))
+}
+
+// resolveModel trains or loads the cell's model if its method needs one and
+// the family doesn't have it yet. Called serially before the fan-out:
+// training itself parallelizes across rollout workers, and evaluation cells
+// must only ever read frozen weights.
+func (r *campaignRun) resolveModel(cell scenario.Cell) error {
+	method := cell.Method
+	if !method.Kind.Trained() {
+		return nil
+	}
+	if method.Model == "" && !method.Train {
+		return fmt.Errorf("method %s needs a trained model: set train=true or reference a model file", method.Kind)
+	}
+	sp := cell.Scenario
+	if sp.Power && sp.PowerBudgetKW != 0 && method.Train {
+		return fmt.Errorf("scenario %s: train=true with a power_budget_kw override is unsupported (the state encoding is sized by the budget); train at the default budget and load the model file", sp.Name)
+	}
+	key := r.modelKey(cell)
+	m := r.materialsOf(cell)
+	family := sp.FamilyName()
+	switch method.Kind {
+	case scenario.KindMRSch:
+		if _, ok := r.mrsch[key]; ok {
+			return nil
+		}
+		var agent *core.MRSch
+		var err error
+		if method.Model != "" {
+			agent, err = loadMRSchModel(m, sp, method)
+		} else if sp.Power {
+			agent, err = TrainMRSchPower(m, family)
+		} else {
+			agent, _, err = TrainMRSch(m, family, method.CNN)
+		}
+		if err != nil {
+			return fmt.Errorf("model for family %s: %w", family, err)
+		}
+		agent.Train = false
+		r.mrsch[key] = agent
+	case scenario.KindScalarRL:
+		if _, ok := r.scalarRL[key]; ok {
+			return nil
+		}
+		agent, err := TrainScalarRL(m, family, m.SystemFor(sp), sp.Power)
+		if err != nil {
+			return fmt.Errorf("model for family %s: %w", family, err)
+		}
+		r.scalarRL[key] = agent
+	}
+	return nil
+}
+
+// loadMRSchModel builds the campaign-architecture agent for the cell's
+// system and restores saved weights (cmd/mrsch-train output) into it.
+func loadMRSchModel(m *Materials, sp scenario.ScenarioSpec, method scenario.MethodSpec) (*core.MRSch, error) {
+	agent := core.New(m.SystemFor(sp), m.Scale.mrschOptions(m.Scale.Seed+11, method.CNN))
+	f, err := os.Open(method.Model)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := agent.Load(f); err != nil {
+		return nil, fmt.Errorf("loading %s: %w", method.Model, err)
+	}
+	return agent, nil
+}
+
+// evalCell runs one grid cell as an independent evaluation episode.
+func (r *campaignRun) evalCell(cell scenario.Cell) (CellResult, error) {
+	m := r.materialsOf(cell)
+	if m == nil {
+		// Unreachable through RunCampaign (resolveMaterials runs first);
+		// guards adapters that seed the materials map themselves.
+		return CellResult{}, fmt.Errorf("no materials prepared for scale %q", materialsKey(r.scaleFor(cell)))
+	}
+	sp := cell.Scenario
+	sys := m.SystemFor(sp)
+	jobs, err := m.WorkloadSpec(sp)
+	if err != nil {
+		return CellResult{}, err
+	}
+	policy, err := r.cellPolicy(m, cell)
+	if err != nil {
+		return CellResult{}, err
+	}
+	rep, err := Evaluate(sys, policy, jobs, cell.Method.DisplayName(), sp.Name, sys.ResourceIndex("power_kw"))
+	if err != nil {
+		return CellResult{}, err
+	}
+	return CellResult{Cell: cell, Report: rep}, nil
+}
+
+// cellPolicy builds the cell's scheduling policy. Training-free methods
+// construct fresh; trained methods wrap a read-only actor clone of the
+// family's frozen model, so cells sharing one model may run concurrently.
+// All seeding derives from Cell.Index.
+func (r *campaignRun) cellPolicy(m *Materials, cell scenario.Cell) (*sched.WindowPolicy, error) {
+	switch cell.Method.Kind {
+	case scenario.KindHeuristic:
+		return FCFSPolicy(m.Scale.Window), nil
+	case scenario.KindOptimize:
+		return sched.NewWindowPolicy(NewGA(m.Scale.Seed+7000+int64(cell.Index)), m.Scale.Window), nil
+	case scenario.KindMRSch:
+		agent := r.mrsch[r.modelKey(cell)]
+		actor, parallel := agent.Actor()
+		if !parallel {
+			return nil, fmt.Errorf("method mrsch: state module is not clonable for parallel evaluation")
+		}
+		actor.Reset(m.Scale.Seed+9000+int64(cell.Index), 0) // eps 0: greedy
+		return actor.Policy(), nil
+	case scenario.KindScalarRL:
+		agent := r.scalarRL[r.modelKey(cell)]
+		actor, parallel := agent.Actor()
+		if !parallel {
+			return nil, fmt.Errorf("method scalar-rl: network is not clonable for parallel evaluation")
+		}
+		actor.Reset(m.Scale.Seed + 9000 + int64(cell.Index))
+		return actor.Policy(), nil
+	}
+	return nil, fmt.Errorf("unknown method kind %q", cell.Method.Kind)
+}
+
+// FprintCells renders campaign results as one table row per cell.
+func FprintCells(w io.Writer, name string, results []CellResult) {
+	fmt.Fprintf(w, "Campaign %s — scenario x method x seed grid (episode per cell):\n", name)
+	fmt.Fprintf(w, "  %-16s %-13s %-5s %9s %9s %8s %9s\n",
+		"scenario", "method", "res", "util[0]", "util[1]", "wait(h)", "slowdown")
+	for _, r := range results {
+		name := r.Cell.Scenario.Name
+		if r.Cell.Seed != 0 {
+			name = fmt.Sprintf("%s#%d", name, r.Cell.Seed)
+		}
+		if len(r.Report.Utilization) < 2 {
+			// A zero-value report: the cell failed (the caller has the
+			// per-cell error) or was never run.
+			fmt.Fprintf(w, "  %-16s %-13s %-5d %s\n",
+				name, r.Cell.Method.DisplayName(), r.Cell.Scenario.Arity(), "(failed)")
+			continue
+		}
+		fmt.Fprintf(w, "  %-16s %-13s %-5d %9.3f %9.3f %8.2f %9.2f\n",
+			name, r.Cell.Method.DisplayName(), r.Cell.Scenario.Arity(),
+			r.Report.Utilization[0], r.Report.Utilization[1],
+			r.Report.AvgWaitHours(), r.Report.AvgSlowdown)
+	}
+}

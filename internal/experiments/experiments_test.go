@@ -7,22 +7,35 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 )
+
+// mustCampaign builds a Campaign for a vetted test scale.
+func mustCampaign(t *testing.T, sc Scale) *Campaign {
+	t.Helper()
+	c, err := NewCampaign(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
 
 // tinyScale keeps unit tests fast while exercising every code path.
 func tinyScale() Scale {
 	return Scale{
-		Name:             "tiny",
-		Div:              64,
-		TraceDuration:    0.4 * 86400,
-		MeanInterarrival: 200,
-		Window:           6,
-		SetsPerKind:      2,
-		SetSize:          25,
-		StepsPerEpisode:  6,
-		EpsDecay:         0.7,
-		Seed:             5,
-		RolloutWorkers:   1,
+		ScaleSpec: scenario.ScaleSpec{
+			Name:             "tiny",
+			Div:              64,
+			TraceDuration:    0.4 * 86400,
+			MeanInterarrival: 200,
+			Window:           6,
+			SetsPerKind:      2,
+			SetSize:          25,
+			StepsPerEpisode:  6,
+			EpsDecay:         0.7,
+			Seed:             5,
+		},
+		RolloutWorkers: 1,
 	}
 }
 
@@ -45,7 +58,7 @@ func TestFigure1ReproducesTheMotivation(t *testing.T) {
 }
 
 func TestPrepareMaterials(t *testing.T) {
-	m := Prepare(tinyScale())
+	m := MustPrepare(tinyScale())
 	if len(m.Base) == 0 || len(m.Test) == 0 || len(m.Train) == 0 {
 		t.Fatalf("materials empty: base=%d train=%d test=%d", len(m.Base), len(m.Train), len(m.Test))
 	}
@@ -67,7 +80,7 @@ func TestPrepareMaterials(t *testing.T) {
 }
 
 func TestCurriculumSetsCoverAllKinds(t *testing.T) {
-	m := Prepare(tinyScale())
+	m := MustPrepare(tinyScale())
 	byKind := m.CurriculumSets("S4")
 	for _, kind := range []core.JobSetKind{core.Sampled, core.Real, core.Synthetic} {
 		sets := byKind[kind]
@@ -104,7 +117,7 @@ func TestOrderingsAreSixPermutations(t *testing.T) {
 }
 
 func TestTrainMRSchProducesWorkingAgent(t *testing.T) {
-	m := Prepare(tinyScale())
+	m := MustPrepare(tinyScale())
 	agent, results, err := TrainMRSch(m, "S1", false)
 	if err != nil {
 		t.Fatal(err)
@@ -125,7 +138,7 @@ func TestTrainMRSchProducesWorkingAgent(t *testing.T) {
 }
 
 func TestFigures56AllMethodsComplete(t *testing.T) {
-	c := NewCampaign(tinyScale())
+	c := mustCampaign(t, tinyScale())
 	rows, err := Figures56(c)
 	if err != nil {
 		t.Fatal(err)
@@ -176,7 +189,7 @@ func TestFigures56AllMethodsComplete(t *testing.T) {
 }
 
 func TestFigure4SeriesShape(t *testing.T) {
-	c := NewCampaign(tinyScale())
+	c := mustCampaign(t, tinyScale())
 	series, err := Figure4(c, "S4")
 	if err != nil {
 		t.Fatal(err)
@@ -202,7 +215,7 @@ func TestFigure4SeriesShape(t *testing.T) {
 }
 
 func TestFigure8And9GoalDynamics(t *testing.T) {
-	c := NewCampaign(tinyScale())
+	c := mustCampaign(t, tinyScale())
 	samples, err := Figure8(c)
 	if err != nil {
 		t.Fatal(err)
@@ -244,7 +257,7 @@ func TestFigure8And9GoalDynamics(t *testing.T) {
 }
 
 func TestFigure10ThreeResources(t *testing.T) {
-	c := NewCampaign(tinyScale())
+	c := mustCampaign(t, tinyScale())
 	rows, err := Figure10(c)
 	if err != nil {
 		t.Fatal(err)

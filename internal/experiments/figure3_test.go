@@ -6,7 +6,7 @@ import (
 )
 
 func TestFigure3BothVariantsEvaluate(t *testing.T) {
-	c := NewCampaign(tinyScale())
+	c := mustCampaign(t, tinyScale())
 	rows, err := Figure3(c)
 	if err != nil {
 		t.Fatal(err)
@@ -30,7 +30,7 @@ func TestFigure3BothVariantsEvaluate(t *testing.T) {
 }
 
 func TestCampaignCachesAgents(t *testing.T) {
-	c := NewCampaign(tinyScale())
+	c := mustCampaign(t, tinyScale())
 	a1, err := c.MRSchAgent("S1", false, false)
 	if err != nil {
 		t.Fatal(err)

@@ -8,14 +8,26 @@ import (
 	"repro/internal/core"
 	"repro/internal/job"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 )
 
-// WorkloadNames are the Table III scenarios in plotting order.
-func WorkloadNames() []string { return []string{"S1", "S2", "S3", "S4", "S5"} }
+// WorkloadNames are the Table III scenarios in plotting order, read from
+// the scenario registry.
+func WorkloadNames() []string { return builtinNames(false) }
 
-// PowerWorkloadNames are the §V-E scenarios.
-func PowerWorkloadNames() []string { return []string{"S6", "S7", "S8", "S9", "S10"} }
+// PowerWorkloadNames are the §V-E scenarios, read from the registry.
+func PowerWorkloadNames() []string { return builtinNames(true) }
+
+func builtinNames(power bool) []string {
+	var names []string
+	for _, sp := range scenario.Builtins() {
+		if sp.Power == power {
+			names = append(names, sp.Name)
+		}
+	}
+	return names
+}
 
 // Campaign caches trained agents so the figures can share them (the paper
 // trains one agent per workload and reuses it across Figures 5-9).
@@ -24,9 +36,13 @@ type Campaign struct {
 	agents map[string]*core.MRSch
 }
 
-// NewCampaign prepares materials for a scale.
-func NewCampaign(sc Scale) *Campaign {
-	return &Campaign{M: Prepare(sc), agents: make(map[string]*core.MRSch)}
+// NewCampaign validates the scale and prepares materials for it.
+func NewCampaign(sc Scale) (*Campaign, error) {
+	m, err := Prepare(sc)
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{M: m, agents: make(map[string]*core.MRSch)}, nil
 }
 
 // MRSchAgent returns the (cached) trained agent for a workload; set cnn for

@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"fmt"
+
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/job"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -20,10 +24,21 @@ type Materials struct {
 	// Train/Valid/Test are the chronological split of the base trace
 	// (§IV-A: 3.5 months training, two weeks validation, remainder test).
 	Train, Valid, Test []*job.Job
+
+	// InterarrivalScale records the theta-variant interarrival factor
+	// already folded into Scale.MeanInterarrival (0 or 1 = none). The
+	// campaign runner sets it when preparing variant materials, so
+	// WorkloadSpec can verify a spec against the materials it is handed.
+	InterarrivalScale float64
 }
 
-// Prepare generates the campaign's raw materials deterministically.
-func Prepare(sc Scale) *Materials {
+// Prepare generates the campaign's raw materials deterministically. The
+// scale is validated first: nonpositive sizing fields fail loudly here
+// instead of flowing silently into trace generation.
+func Prepare(sc Scale) (*Materials, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
 	sys := sc.System()
 	gcfg := workload.GeneratorConfig{
 		System:           sys,
@@ -40,7 +55,79 @@ func Prepare(sc Scale) *Materials {
 	if len(valid) == 0 {
 		valid = train
 	}
-	return &Materials{Scale: sc, Base: base, Pool: pool, Train: train, Valid: valid, Test: test}
+	return &Materials{Scale: sc, Base: base, Pool: pool, Train: train, Valid: valid, Test: test}, nil
+}
+
+// MustPrepare is Prepare for callers whose scale is a vetted builtin;
+// it panics on validation failure.
+func MustPrepare(sc Scale) *Materials {
+	m, err := Prepare(sc)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// checkSpec verifies the spec's base-trace overrides match the materials:
+// a Div or interarrival variant needs its own Prepare'd materials (the
+// campaign runner resolves them); silently evaluating it against mismatched
+// materials would report results for a scenario that was never built.
+func (m *Materials) checkSpec(sp scenario.ScenarioSpec) error {
+	if sp.Div > 0 && sp.Div != m.Scale.Div {
+		return fmt.Errorf("experiments: scenario %s wants div %d but materials were prepared at div %d", sp.Name, sp.Div, m.Scale.Div)
+	}
+	want, have := sp.InterarrivalScale, m.InterarrivalScale
+	if want == 0 {
+		want = 1
+	}
+	if have == 0 {
+		have = 1
+	}
+	if want != have {
+		return fmt.Errorf("experiments: scenario %s scales interarrival x%g but materials carry x%g; prepare variant materials first (RunCampaign does)", sp.Name, want, have)
+	}
+	return nil
+}
+
+// WorkloadSpec builds the scenario's evaluation workload over the test
+// split: the Table III transform (plus the §V-E power profile for power
+// specs) and, when the spec sets walltime_noise_sigma, lognormal noise on
+// the walltime estimates. Base-trace variant axes (div, interarrival) must
+// already be reflected in the materials' scale.
+func (m *Materials) WorkloadSpec(sp scenario.ScenarioSpec) ([]*job.Job, error) {
+	if err := m.checkSpec(sp); err != nil {
+		return nil, err
+	}
+	var jobs []*job.Job
+	if sp.Power {
+		sys, budget := m.powerSystemFor(sp)
+		jobs = workload.ApplyPowerBudget(m.Test, m.Pool, sp.PowerMix(), sys, budget, m.Scale.Seed+100)
+	} else {
+		jobs = workload.Apply(m.Test, m.Pool, sp.Mix(), m.Scale.System(), m.Scale.Seed+100)
+	}
+	if sp.WalltimeNoiseSigma > 0 {
+		jobs = workload.NoiseWalltimes(jobs, sp.WalltimeNoiseSigma, m.Scale.Seed+170)
+	}
+	return rebase(jobs), nil
+}
+
+// SystemFor returns the system the scenario evaluates on (power-extended
+// for power specs, with the spec's budget override applied).
+func (m *Materials) SystemFor(sp scenario.ScenarioSpec) cluster.Config {
+	if sp.Power {
+		sys, _ := m.powerSystemFor(sp)
+		return sys
+	}
+	return m.Scale.System()
+}
+
+// powerSystemFor resolves the power-extended system and effective budget.
+func (m *Materials) powerSystemFor(sp scenario.ScenarioSpec) (cluster.Config, int) {
+	budget := sp.PowerBudgetKW
+	if budget <= 0 {
+		budget = workload.ThetaPowerBudgetKW
+	}
+	return workload.WithPowerBudget(m.Scale.System(), budget), budget
 }
 
 // ValidationWorkload builds the named Table III scenario over the
@@ -53,23 +140,36 @@ func (m *Materials) ValidationWorkload(name string) []*job.Job {
 	return rebase(workload.Apply(m.Valid, m.Pool, sc, m.Scale.System(), m.Scale.Seed+150))
 }
 
-// Workload builds the named Table III scenario over the test split.
+// Workload builds the named builtin scenario over the test split — the
+// string-keyed adapter over WorkloadSpec (variant syntax like "S4@wtn=0.5"
+// resolves too; see scenario.ByName). Unknown names panic: the legacy
+// callers treat names as program constants.
 func (m *Materials) Workload(name string) []*job.Job {
-	sc, err := workload.ScenarioByName(name)
+	sp, err := scenario.ByName(name)
 	if err != nil {
 		panic(err)
 	}
-	return rebase(workload.Apply(m.Test, m.Pool, sc, m.Scale.System(), m.Scale.Seed+100))
+	jobs, err := m.WorkloadSpec(sp)
+	if err != nil {
+		panic(err)
+	}
+	return jobs
 }
 
 // PowerWorkload builds an S6-S10 workload over the test split.
 func (m *Materials) PowerWorkload(name string) []*job.Job {
-	for _, psc := range workload.PowerScenarios() {
-		if psc.Name == name {
-			return rebase(workload.ApplyPower(m.Test, m.Pool, psc, m.Scale.PowerSystem(), m.Scale.Seed+100))
-		}
+	sp, err := scenario.ByName(name)
+	if err == nil && !sp.Power {
+		err = fmt.Errorf("experiments: %s is not a power scenario", name)
 	}
-	panic("experiments: unknown power workload " + name)
+	if err != nil {
+		panic(err)
+	}
+	jobs, err := m.WorkloadSpec(sp)
+	if err != nil {
+		panic(err)
+	}
+	return jobs
 }
 
 // rebase shifts arrivals so the workload starts at time zero.
@@ -87,8 +187,8 @@ func rebase(jobs []*job.Job) []*job.Job {
 // CurriculumSets builds the three §III-D set kinds for the named scenario
 // from the training split: sampled (Poisson arrivals), real (trace slices),
 // and synthetic (fresh generator output), each transformed by the scenario.
-func (m *Materials) CurriculumSets(scenario string) map[core.JobSetKind][][]*job.Job {
-	sc, err := workload.ScenarioByName(scenario)
+func (m *Materials) CurriculumSets(scenarioName string) map[core.JobSetKind][][]*job.Job {
+	sc, err := workload.ScenarioByName(scenarioName)
 	if err != nil {
 		panic(err)
 	}

@@ -16,7 +16,7 @@ func TestTrainMRSchPipelinedDeterministic(t *testing.T) {
 		sc := tinyScale()
 		sc.RolloutWorkers = 2
 		sc.Pipelined = true
-		m := Prepare(sc)
+		m := MustPrepare(sc)
 		agent, results, err := TrainMRSch(m, "S2", false)
 		if err != nil {
 			t.Fatal(err)
@@ -49,7 +49,7 @@ func TestTrainMRSchValidatedPipelined(t *testing.T) {
 	sc := tinyScale()
 	sc.RolloutWorkers = 2
 	sc.Pipelined = true
-	m := Prepare(sc)
+	m := MustPrepare(sc)
 	_, results, best, err := TrainMRSchValidated(m, "S2")
 	if err != nil {
 		t.Fatal(err)

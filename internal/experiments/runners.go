@@ -16,7 +16,9 @@ import (
 	"repro/internal/workload"
 )
 
-// Method names as the paper labels them (§IV-D).
+// Method names as the paper labels them (§IV-D). They are the display
+// names of the scenario.MethodKind registry (asserted by tests);
+// scenario.MethodByName resolves either form.
 const (
 	MethodMRSch     = "MRSch"
 	MethodOptimize  = "Optimization"

@@ -5,37 +5,26 @@
 // resource-prioritizing traces (Figures 8-9), the three-resource case study
 // (Figure 10), and the decision-latency measurement (§V-F). Each experiment
 // is a pure function of an explicit Scale, so the same code runs a
-// CI-sized replica or a heavier standalone configuration.
+// CI-sized replica or a heavier standalone configuration. Campaigns beyond
+// the paper grid are declared with internal/scenario specs and run through
+// RunCampaign.
 package experiments
 
 import (
 	"repro/internal/cluster"
 	"repro/internal/rollout"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
 // Scale fixes the size of an experimental campaign. All randomness derives
-// from Seed, so campaigns are reproducible.
+// from Seed, so campaigns are reproducible. The sizing is the embedded
+// scenario.ScaleSpec (the serializable form — its fields promote, so
+// s.Div, s.Window, ... read as before); RolloutWorkers and Pipelined are
+// runtime knobs raised by the cmd binaries, never part of a spec.
 type Scale struct {
-	Name string
-	// Div scales the Theta machine (nodes and burst buffer divided by Div).
-	Div int
-	// TraceDuration and MeanInterarrival shape the base trace.
-	TraceDuration    float64
-	MeanInterarrival float64
-	// Window is W (the paper uses 10).
-	Window int
-	// SetsPerKind and SetSize size the curriculum (§III-D): SetsPerKind job
-	// sets of each of the three kinds, SetSize jobs each.
-	SetsPerKind int
-	SetSize     int
-	// StepsPerEpisode is gradient steps after each training episode.
-	StepsPerEpisode int
-	// EpsDecay overrides the paper's per-episode 0.995 decay so short
-	// campaigns still reach exploitation.
-	EpsDecay float64
-	// Seed roots all randomness.
-	Seed int64
+	scenario.ScaleSpec
+
 	// RolloutWorkers is the number of simulator environments the training
 	// harness (internal/rollout) rolls out concurrently; 0 means all CPU
 	// cores (the package-wide rollout.ResolveWorkers convention). The
@@ -56,47 +45,37 @@ type Scale struct {
 	Pipelined bool
 }
 
+// ScaleFromSpec materializes a runnable Scale from its serializable sizing;
+// the runtime knobs start at their deterministic defaults (1 rollout
+// worker, barrier training).
+func ScaleFromSpec(sp scenario.ScaleSpec) Scale {
+	return Scale{ScaleSpec: sp, RolloutWorkers: 1}
+}
+
+// Spec returns the serializable sizing of the scale.
+func (s Scale) Spec() scenario.ScaleSpec { return s.ScaleSpec }
+
+// Validate rejects sizing that would silently generate a degenerate trace
+// or curriculum (nonpositive Div, Window, SetSize, TraceDuration, ...).
+func (s Scale) Validate() error { return s.Spec().Validate() }
+
 // rolloutConfig derives the training-harness configuration for the scale.
 func (s Scale) rolloutConfig() rollout.Config {
 	return rollout.Config{Workers: s.RolloutWorkers, Seed: s.Seed + 7, Pipelined: s.Pipelined}
 }
 
 // QuickScale is the CI-sized campaign used by `go test` and the default
-// benchmarks: a 1/32 Theta and a compressed training budget. Figures keep
-// their qualitative shape at this scale; absolute numbers shift.
-func QuickScale() Scale {
-	return Scale{
-		Name:             "quick",
-		Div:              32,
-		TraceDuration:    1.0 * 86400,
-		MeanInterarrival: 110,
-		Window:           10,
-		SetsPerKind:      5,
-		SetSize:          80,
-		StepsPerEpisode:  32,
-		EpsDecay:         0.78,
-		Seed:             1,
-		RolloutWorkers:   1,
-	}
-}
+// benchmarks: a 1/32 Theta and a compressed training budget (the builtin
+// scenario.QuickScaleSpec sizing).
+func QuickScale() Scale { return ScaleFromSpec(scenario.QuickScaleSpec()) }
 
 // StandardScale is a heavier campaign for standalone runs of cmd/mrsch-exp:
 // a 1/16 Theta, a two-day trace, and a longer curriculum.
-func StandardScale() Scale {
-	return Scale{
-		Name:             "standard",
-		Div:              16,
-		TraceDuration:    2 * 86400,
-		MeanInterarrival: 110,
-		Window:           10,
-		SetsPerKind:      8,
-		SetSize:          100,
-		StepsPerEpisode:  32,
-		EpsDecay:         0.88,
-		Seed:             1,
-		RolloutWorkers:   1,
-	}
-}
+func StandardScale() Scale { return ScaleFromSpec(scenario.StandardScaleSpec()) }
+
+// TinyScale is the smallest builtin campaign, used by CI campaign smokes
+// and `-scale tiny`.
+func TinyScale() Scale { return ScaleFromSpec(scenario.TinyScaleSpec()) }
 
 // System returns the scaled two-resource machine.
 func (s Scale) System() cluster.Config { return workload.ThetaScaled(s.Div) }

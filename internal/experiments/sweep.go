@@ -4,24 +4,22 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/job"
 	"repro/internal/metrics"
-	"repro/internal/rollout"
-	"repro/internal/sched"
+	"repro/internal/scenario"
 )
 
-// This file implements the episode-sweep mode: independent evaluation
-// episodes over the full scenario grid — the Table III burst-buffer ladder
-// S1-S5 on the two-resource Theta variant and the §V-E power-capped S6-S10
-// on the three-resource system — fanned across the same worker pool
-// (internal/rollout) that collects training episodes, so scenario sweeps and
-// training share one engine.
+// This file is the legacy string-keyed surface of the episode-sweep mode,
+// kept as a thin adapter over the declarative campaign engine
+// (internal/scenario + campaign.go): SweepGrid enumerates the paper
+// campaign's cells under their historical names and RunSweep evaluates them
+// through the same per-cell path as RunCampaign, byte-identical to the
+// pre-spec implementation.
 
 // SweepCell is one evaluation episode of the grid: a workload on its system
 // arity under one scheduling method.
 type SweepCell struct {
-	Workload string // S1-S10
-	Method   string // MethodHeuristic or MethodOptimize
+	Workload string // a builtin scenario name (S1-S10) or variant syntax ("S4@wtn=0.5")
+	Method   string // a method display name or kind (e.g. MethodHeuristic, "fcfs")
 	Power    bool   // S6-S10: three-resource system with a power budget
 }
 
@@ -34,23 +32,40 @@ type SweepResult struct {
 // SweepGrid enumerates the workload x method grid in deterministic order:
 // every Table III scenario (two-resource mixes), then every power scenario
 // (three-resource mixes), for each of the given training-free methods.
-// Methods defaults to {Heuristic, Optimization} when nil.
+// Methods defaults to {Heuristic, Optimization} when nil. It is the
+// expansion of scenario.PaperCampaign restricted to the requested methods.
 func SweepGrid(methods []string) []SweepCell {
 	if methods == nil {
 		methods = []string{MethodHeuristic, MethodOptimize}
 	}
 	var grid []SweepCell
-	for _, wl := range WorkloadNames() {
+	for _, sp := range scenario.Builtins() {
 		for _, method := range methods {
-			grid = append(grid, SweepCell{Workload: wl, Method: method})
-		}
-	}
-	for _, wl := range PowerWorkloadNames() {
-		for _, method := range methods {
-			grid = append(grid, SweepCell{Workload: wl, Method: method, Power: true})
+			grid = append(grid, SweepCell{Workload: sp.Name, Method: method, Power: sp.Power})
 		}
 	}
 	return grid
+}
+
+// cellsFromGrid adapts legacy sweep cells to expanded campaign cells,
+// preserving indices (per-cell policy seeding derives from them).
+func cellsFromGrid(grid []SweepCell) ([]scenario.Cell, error) {
+	cells := make([]scenario.Cell, len(grid))
+	for i, c := range grid {
+		sp, err := scenario.ByName(c.Workload)
+		if err != nil {
+			return nil, err
+		}
+		if c.Power != sp.Power {
+			return nil, fmt.Errorf("experiments: sweep cell %s: Power=%v contradicts the scenario (arity %d)", c.Workload, c.Power, sp.Arity())
+		}
+		method, err := scenario.MethodByName(c.Method)
+		if err != nil {
+			return nil, err
+		}
+		cells[i] = scenario.Cell{Index: i, Scenario: sp, Method: method}
+	}
+	return cells, nil
 }
 
 // RunSweep evaluates every cell of the grid as an independent simulation
@@ -58,44 +73,38 @@ func SweepGrid(methods []string) []SweepCell {
 // results in grid order. Each cell builds its own policy (seeded by cell
 // index) and workload, so results are identical for every worker count —
 // evaluation episodes, unlike training episodes, share no learner state.
+// Only training-free methods participate: trained agents go through the
+// figure pipelines or a campaign spec with train/model methods.
 func RunSweep(m *Materials, grid []SweepCell, workers int) ([]SweepResult, error) {
-	return rollout.Map(workers, grid, func(_, idx int, cell SweepCell) (SweepResult, error) {
-		sys := m.Scale.System()
-		powerIdx := -1
-		if cell.Power {
-			sys = m.Scale.PowerSystem()
-			powerIdx = 2
-		}
-		policy, err := sweepPolicy(m, cell, idx)
-		if err != nil {
-			return SweepResult{}, err
-		}
-		var jobs []*job.Job
-		if cell.Power {
-			jobs = m.PowerWorkload(cell.Workload)
-		} else {
-			jobs = m.Workload(cell.Workload)
-		}
-		rep, err := Evaluate(sys, policy, jobs, cell.Method, cell.Workload, powerIdx)
-		if err != nil {
-			return SweepResult{}, err
-		}
-		return SweepResult{Cell: cell, Report: rep}, nil
-	})
-}
-
-// sweepPolicy builds the cell's scheduling policy. Only training-free
-// methods participate in sweeps; trained agents go through the figure
-// pipelines, which own their training budgets.
-func sweepPolicy(m *Materials, cell SweepCell, idx int) (*sched.WindowPolicy, error) {
-	switch cell.Method {
-	case MethodHeuristic:
-		return FCFSPolicy(m.Scale.Window), nil
-	case MethodOptimize:
-		return sched.NewWindowPolicy(NewGA(m.Scale.Seed+7000+int64(idx)), m.Scale.Window), nil
-	default:
-		return nil, fmt.Errorf("experiments: sweep method %q needs training; use the figure pipelines", cell.Method)
+	cells, err := cellsFromGrid(grid)
+	if err != nil {
+		return nil, err
 	}
+	for _, cell := range cells {
+		if cell.Method.Kind.Trained() {
+			return nil, fmt.Errorf("experiments: sweep method %q needs training; use the figure pipelines or a campaign spec", cell.Method.DisplayName())
+		}
+		// Base-trace variants (div/ia) need their own materials, which only
+		// RunCampaign resolves; reject them here instead of failing cell by
+		// cell mid-sweep.
+		if err := m.checkSpec(cell.Scenario); err != nil {
+			return nil, err
+		}
+	}
+	run := &campaignRun{
+		spec:      scenario.CampaignSpec{Name: "sweep", Scale: m.Scale.Spec()},
+		baseScale: m.Scale,
+		materials: map[string]*Materials{materialsKey(m.Scale): m},
+	}
+	results, err := run.evalCells(cells, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepResult, len(results))
+	for i, r := range results {
+		out[i] = SweepResult{Cell: grid[i], Report: r.Report}
+	}
+	return out, nil
 }
 
 // FprintSweep renders sweep results as one table row per cell.

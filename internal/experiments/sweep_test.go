@@ -28,7 +28,7 @@ func TestSweepGridShape(t *testing.T) {
 // not change any result — unlike training, where it changes the (equally
 // valid) interleaving.
 func TestSweepIndependentOfWorkerCount(t *testing.T) {
-	m := Prepare(tinyScale())
+	m := MustPrepare(tinyScale())
 	grid := SweepGrid([]string{MethodHeuristic})
 	serial, err := RunSweep(m, grid, 1)
 	if err != nil {
@@ -64,9 +64,30 @@ func TestSweepIndependentOfWorkerCount(t *testing.T) {
 }
 
 func TestSweepRejectsTrainedMethods(t *testing.T) {
-	m := Prepare(tinyScale())
+	m := MustPrepare(tinyScale())
 	_, err := RunSweep(m, []SweepCell{{Workload: "S1", Method: MethodMRSch}}, 1)
 	if err == nil {
 		t.Fatal("sweep accepted a method that needs training")
+	}
+}
+
+// Base-trace variants need their own materials, which only RunCampaign
+// prepares; RunSweep must reject them with an error, not evaluate them
+// against mismatched materials (or crash).
+func TestSweepRejectsBaseTraceVariants(t *testing.T) {
+	m := MustPrepare(tinyScale())
+	for _, wl := range []string{"S4@div=16", "S4@ia=0.75"} {
+		_, err := RunSweep(m, []SweepCell{{Workload: wl, Method: MethodHeuristic}}, 1)
+		if err == nil {
+			t.Fatalf("sweep accepted %s against base materials", wl)
+		}
+	}
+	// Walltime noise applies at workload construction and is fine.
+	res, err := RunSweep(m, []SweepCell{{Workload: "S4@wtn=0.5", Method: MethodHeuristic}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Report.Jobs == 0 {
+		t.Fatalf("wtn variant sweep cell produced %+v", res)
 	}
 }

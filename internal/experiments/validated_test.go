@@ -3,7 +3,7 @@ package experiments
 import "testing"
 
 func TestTrainMRSchValidatedSelectsModel(t *testing.T) {
-	m := Prepare(tinyScale())
+	m := MustPrepare(tinyScale())
 	agent, results, best, err := TrainMRSchValidated(m, "S2")
 	if err != nil {
 		t.Fatal(err)
@@ -27,7 +27,7 @@ func TestTrainMRSchValidatedSelectsModel(t *testing.T) {
 func TestValidationWorkloadDistinctFromTest(t *testing.T) {
 	sc := tinyScale()
 	sc.TraceDuration = 0.8 * 86400 // long enough for a non-degenerate split
-	m := Prepare(sc)
+	m := MustPrepare(sc)
 	valid := m.ValidationWorkload("S1")
 	test := m.Workload("S1")
 	if len(valid) == 0 || len(test) == 0 {

@@ -263,15 +263,24 @@ func dispatch(workers, n int, fn func(worker, item int)) {
 // per-worker scratch), the item index, and the item; the first error in item
 // order is returned after all items finish.
 func Map[T, R any](workers int, items []T, fn func(worker, index int, item T) (R, error)) ([]R, error) {
-	out := make([]R, len(items))
-	errs := make([]error, len(items))
-	dispatch(Config{Workers: workers}.resolveWorkers(), len(items), func(w, i int) {
-		out[i], errs[i] = fn(w, i, items[i])
-	})
+	out, errs := MapCollect(workers, items, fn)
 	for i, err := range errs {
 		if err != nil {
 			return out, fmt.Errorf("rollout: item %d: %w", i, err)
 		}
 	}
 	return out, nil
+}
+
+// MapCollect is Map with per-item error reporting: every item runs to
+// completion and the caller receives the full parallel error slice (nil for
+// successful items) instead of only the first failure. Campaign runners use
+// it to name every failed grid cell in one pass.
+func MapCollect[T, R any](workers int, items []T, fn func(worker, index int, item T) (R, error)) ([]R, []error) {
+	out := make([]R, len(items))
+	errs := make([]error, len(items))
+	dispatch(Config{Workers: workers}.resolveWorkers(), len(items), func(w, i int) {
+		out[i], errs[i] = fn(w, i, items[i])
+	})
+	return out, errs
 }

@@ -340,6 +340,32 @@ func TestMapOrderingAndErrors(t *testing.T) {
 	}
 }
 
+// MapCollect runs every item to completion and reports per-item errors
+// instead of only the first.
+func TestMapCollectPerItemErrors(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5}
+	out, errs := MapCollect(3, items, func(worker, idx int, v int) (int, error) {
+		if v%2 == 1 {
+			return 0, fmt.Errorf("odd %d", v)
+		}
+		return v * 10, nil
+	})
+	if len(out) != len(items) || len(errs) != len(items) {
+		t.Fatalf("lengths %d/%d, want %d", len(out), len(errs), len(items))
+	}
+	for i, v := range items {
+		if v%2 == 1 {
+			if errs[i] == nil || errs[i].Error() != fmt.Sprintf("odd %d", v) {
+				t.Fatalf("errs[%d] = %v", i, errs[i])
+			}
+		} else {
+			if errs[i] != nil || out[i] != v*10 {
+				t.Fatalf("item %d: out=%d err=%v", i, out[i], errs[i])
+			}
+		}
+	}
+}
+
 // Job sets handed to the harness are never mutated: each rollout clones its
 // jobs, so a set can be replayed by later episodes or other campaigns.
 func TestRolloutDoesNotMutateJobSets(t *testing.T) {

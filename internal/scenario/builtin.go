@@ -1,0 +1,266 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Builtins returns the ten paper scenarios as specs: the Table III
+// burst-buffer ladder S1-S5 and the §V-E power-capped S6-S10. The specs are
+// generated from internal/workload's tables, which stay the single source
+// of the mix parameters.
+func Builtins() []ScenarioSpec {
+	var out []ScenarioSpec
+	for _, sc := range workload.Scenarios() {
+		out = append(out, fromMix(sc))
+	}
+	for _, psc := range workload.PowerScenarios() {
+		sp := fromMix(psc.Scenario)
+		sp.Power = true
+		sp.MinW = psc.MinW
+		sp.MaxW = psc.MaxW
+		out = append(out, sp)
+	}
+	return out
+}
+
+func fromMix(sc workload.Scenario) ScenarioSpec {
+	return ScenarioSpec{
+		Name:       sc.Name,
+		BBProb:     sc.BBProb,
+		MinTB:      sc.MinTB,
+		MaxTB:      sc.MaxTB,
+		HalveNodes: sc.HalveNodes,
+	}
+}
+
+// ByName resolves a scenario name: a builtin ("S4"), or a builtin with
+// theta-variant suffixes ("S4@wtn=0.5", "S4@div=16,ia=0.75"). Variant keys
+// are the Axes() names or their short forms: div, ia (interarrival), wtn
+// (walltime-noise).
+func ByName(name string) (ScenarioSpec, error) {
+	base, suffix, hasVariant := strings.Cut(name, "@")
+	var spec ScenarioSpec
+	found := false
+	for _, s := range Builtins() {
+		if s.Name == base {
+			spec, found = s, true
+			break
+		}
+	}
+	if !found {
+		return ScenarioSpec{}, fmt.Errorf("scenario: unknown scenario %q (builtins: S1-S10)", base)
+	}
+	if !hasVariant {
+		return spec, nil
+	}
+	for _, part := range strings.Split(suffix, ",") {
+		key, valStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return ScenarioSpec{}, fmt.Errorf("scenario: variant %q is not key=value", part)
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return ScenarioSpec{}, fmt.Errorf("scenario: variant %s value %q: %w", key, valStr, err)
+		}
+		spec, err = Variant(spec, key, val)
+		if err != nil {
+			return ScenarioSpec{}, err
+		}
+	}
+	return spec, nil
+}
+
+// The three theta-variant axis names.
+const (
+	AxisDiv           = "div"
+	AxisInterarrival  = "interarrival"
+	AxisWalltimeNoise = "walltime-noise"
+)
+
+// Axis is one theta-variant dimension with its default ladder of values.
+type Axis struct {
+	Name        string    `json:"name"`
+	Short       string    `json:"short"`
+	Description string    `json:"description"`
+	Values      []float64 `json:"values"`
+}
+
+// Axes returns the theta-variant dimensions the builtin variant campaign
+// sweeps, with the default ladders.
+func Axes() []Axis {
+	return []Axis{
+		{
+			Name: AxisDiv, Short: "div",
+			Description: "machine-size ladder: override the campaign's Theta divisor (smaller = larger machine)",
+			Values:      []float64{16, 64},
+		},
+		{
+			Name: AxisInterarrival, Short: "ia",
+			Description: "interarrival stress: multiply the base trace's mean interarrival (< 1 = denser queue)",
+			Values:      []float64{0.75, 1.5},
+		},
+		{
+			Name: AxisWalltimeNoise, Short: "wtn",
+			Description: "walltime-estimate noise: multiplicative lognormal sigma on user estimates at evaluation",
+			Values:      []float64{0.25, 0.5},
+		},
+	}
+}
+
+// Variant derives a theta-variant spec from a base scenario: the axis value
+// is applied, the name gains an "@key=value" suffix, and the family is
+// pinned to the base so the variant shares the base's trained model.
+func Variant(base ScenarioSpec, axis string, value float64) (ScenarioSpec, error) {
+	out := base
+	out.Family = base.FamilyName()
+	var short string
+	switch axis {
+	case AxisDiv:
+		if value < 1 || value != math.Trunc(value) {
+			return ScenarioSpec{}, fmt.Errorf("scenario: div variant value %g must be a positive integer", value)
+		}
+		out.Div = int(value)
+		short = "div"
+	case AxisInterarrival, "ia":
+		if value <= 0 {
+			return ScenarioSpec{}, fmt.Errorf("scenario: interarrival variant value %g must be positive", value)
+		}
+		out.InterarrivalScale = value
+		short = "ia"
+	case AxisWalltimeNoise, "wtn":
+		if value <= 0 {
+			return ScenarioSpec{}, fmt.Errorf("scenario: walltime-noise variant value %g must be positive", value)
+		}
+		out.WalltimeNoiseSigma = value
+		short = "wtn"
+	default:
+		return ScenarioSpec{}, fmt.Errorf("scenario: unknown variant axis %q (want div, interarrival/ia, or walltime-noise/wtn)", axis)
+	}
+	out.Name = fmt.Sprintf("%s@%s=%s", base.Name, short, trimFloat(value))
+	return out, nil
+}
+
+// QuickScaleSpec is the CI-sized campaign sizing: a 1/32 Theta and a
+// compressed training budget. Figures keep their qualitative shape at this
+// scale; absolute numbers shift.
+func QuickScaleSpec() ScaleSpec {
+	return ScaleSpec{
+		Name:             "quick",
+		Div:              32,
+		TraceDuration:    1.0 * 86400,
+		MeanInterarrival: 110,
+		Window:           10,
+		SetsPerKind:      5,
+		SetSize:          80,
+		StepsPerEpisode:  32,
+		EpsDecay:         0.78,
+		Seed:             1,
+	}
+}
+
+// StandardScaleSpec is a heavier sizing for standalone runs: a 1/16 Theta,
+// a two-day trace, and a longer curriculum.
+func StandardScaleSpec() ScaleSpec {
+	return ScaleSpec{
+		Name:             "standard",
+		Div:              16,
+		TraceDuration:    2 * 86400,
+		MeanInterarrival: 110,
+		Window:           10,
+		SetsPerKind:      8,
+		SetSize:          100,
+		StepsPerEpisode:  32,
+		EpsDecay:         0.88,
+		Seed:             1,
+	}
+}
+
+// TinyScaleSpec is the smallest sizing: a smoke-test replica for CI
+// campaign runs and the cmd binaries' -scale tiny.
+func TinyScaleSpec() ScaleSpec {
+	s := QuickScaleSpec()
+	s.Name = "tiny"
+	s.Div = 64
+	s.TraceDuration = 0.4 * 86400
+	s.SetsPerKind = 2
+	s.SetSize = 30
+	return s
+}
+
+// ScaleByName resolves a builtin sizing name.
+func ScaleByName(name string) (ScaleSpec, error) {
+	for _, s := range []ScaleSpec{QuickScaleSpec(), StandardScaleSpec(), TinyScaleSpec()} {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return ScaleSpec{}, fmt.Errorf("scenario: unknown scale %q (builtins: quick, standard, tiny)", name)
+}
+
+// PaperCampaign is the paper's evaluation grid as run by the legacy sweep
+// mode: every builtin scenario under the training-free methods. Its
+// expansion reproduces the legacy SweepGrid(nil) cells exactly, order
+// included.
+func PaperCampaign(scale ScaleSpec) CampaignSpec {
+	return CampaignSpec{
+		Name:        "paper",
+		Description: "Table III S1-S5 and the power-capped S6-S10 under the training-free methods (the legacy -fig sweep grid)",
+		Scale:       scale,
+		Scenarios:   Builtins(),
+		Methods: []MethodSpec{
+			{Kind: KindHeuristic},
+			{Kind: KindOptimize},
+		},
+	}
+}
+
+// ThetaVariantCampaign sweeps the three theta-variant axes over the S4
+// family (the paper's reference heavy-contention mix): every Axes() value
+// becomes one derived scenario, evaluated under the training-free methods.
+func ThetaVariantCampaign(scale ScaleSpec) CampaignSpec {
+	base, err := ByName("S4")
+	if err != nil {
+		panic(err) // builtin table broken
+	}
+	var variants []ScenarioSpec
+	for _, ax := range Axes() {
+		for _, v := range ax.Values {
+			sp, err := Variant(base, ax.Name, v)
+			if err != nil {
+				panic(err) // Axes() values must be valid for their axis
+			}
+			variants = append(variants, sp)
+		}
+	}
+	return CampaignSpec{
+		Name:        "theta-variants",
+		Description: "S4 stressed along the div / interarrival / walltime-noise axes under the training-free methods",
+		Scale:       scale,
+		Scenarios:   variants,
+		Methods: []MethodSpec{
+			{Kind: KindHeuristic},
+			{Kind: KindOptimize},
+		},
+	}
+}
+
+// BuiltinCampaigns returns the named campaigns -dump-campaign can emit, at
+// the given sizing.
+func BuiltinCampaigns(scale ScaleSpec) []CampaignSpec {
+	return []CampaignSpec{PaperCampaign(scale), ThetaVariantCampaign(scale)}
+}
+
+// CampaignByName resolves a builtin campaign name at the given sizing.
+func CampaignByName(name string, scale ScaleSpec) (CampaignSpec, error) {
+	for _, c := range BuiltinCampaigns(scale) {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return CampaignSpec{}, fmt.Errorf("scenario: unknown campaign %q (builtins: paper, theta-variants)", name)
+}

@@ -1,0 +1,283 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBuiltinsMatchThePaperTable(t *testing.T) {
+	specs := Builtins()
+	if len(specs) != 10 {
+		t.Fatalf("%d builtins, want 10", len(specs))
+	}
+	wantNames := []string{"S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10"}
+	for i, sp := range specs {
+		if sp.Name != wantNames[i] {
+			t.Fatalf("builtin %d = %s, want %s", i, sp.Name, wantNames[i])
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("builtin %s invalid: %v", sp.Name, err)
+		}
+		if got, want := sp.Power, i >= 5; got != want {
+			t.Fatalf("%s power = %v, want %v", sp.Name, got, want)
+		}
+		if sp.IsVariant() {
+			t.Fatalf("%s is a builtin but reports variant overrides", sp.Name)
+		}
+		if sp.Describe() == "" {
+			t.Fatalf("%s has no generated description", sp.Name)
+		}
+	}
+	// Spot-check one row of Table III survives the round trip to specs.
+	s5, err := ByName("S5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s5.BBProb != 0.75 || s5.MinTB != 20 || s5.MaxTB != 285 || !s5.HalveNodes {
+		t.Fatalf("S5 spec drifted from Table III: %+v", s5)
+	}
+}
+
+func TestByNameVariantSyntax(t *testing.T) {
+	sp, err := ByName("S4@div=16,wtn=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Div != 16 || sp.WalltimeNoiseSigma != 0.5 {
+		t.Fatalf("variant fields not applied: %+v", sp)
+	}
+	if sp.FamilyName() != "S4" {
+		t.Fatalf("variant family = %s, want S4", sp.FamilyName())
+	}
+	if !sp.IsVariant() {
+		t.Fatal("variant spec does not report IsVariant")
+	}
+	if !strings.Contains(sp.Name, "@") {
+		t.Fatalf("variant name %q lacks suffix", sp.Name)
+	}
+
+	for _, bad := range []string{"S11", "S4@div=0.5", "S4@bogus=1", "S4@ia=-1", "S4@wtn"} {
+		if _, err := ByName(bad); err == nil {
+			t.Fatalf("ByName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestAxesLaddersAreValidVariants(t *testing.T) {
+	base, err := ByName("S4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ax := range Axes() {
+		if ax.Description == "" {
+			t.Fatalf("axis %s has no description", ax.Name)
+		}
+		for _, v := range ax.Values {
+			sp, err := Variant(base, ax.Name, v)
+			if err != nil {
+				t.Fatalf("axis %s value %g: %v", ax.Name, v, err)
+			}
+			if err := sp.Validate(); err != nil {
+				t.Fatalf("axis %s value %g produced invalid spec: %v", ax.Name, v, err)
+			}
+			// The short key resolves the same spec through name syntax.
+			back, err := ByName(sp.Name)
+			if err != nil {
+				t.Fatalf("round-tripping %s: %v", sp.Name, err)
+			}
+			if !reflect.DeepEqual(sp, back) {
+				t.Fatalf("ByName(%s) = %+v, want %+v", sp.Name, back, sp)
+			}
+		}
+	}
+}
+
+func TestExpandOrderAndDeterminism(t *testing.T) {
+	c := PaperCampaign(QuickScaleSpec())
+	cells := c.Expand()
+	if len(cells) != 20 {
+		t.Fatalf("%d cells, want 20 (10 scenarios x 2 methods)", len(cells))
+	}
+	for i, cell := range cells {
+		if cell.Index != i {
+			t.Fatalf("cell %d carries index %d", i, cell.Index)
+		}
+		wantScenario := c.Scenarios[i/2].Name
+		wantMethod := c.Methods[i%2].Kind
+		if cell.Scenario.Name != wantScenario || cell.Method.Kind != wantMethod {
+			t.Fatalf("cell %d = %s/%s, want %s/%s (scenario-major order)",
+				i, cell.Scenario.Name, cell.Method.Kind, wantScenario, wantMethod)
+		}
+	}
+	if !reflect.DeepEqual(cells, c.Expand()) {
+		t.Fatal("Expand is not deterministic")
+	}
+}
+
+func TestExpandSeedAxis(t *testing.T) {
+	c := PaperCampaign(QuickScaleSpec())
+	c.Scenarios = c.Scenarios[:1]
+	c.Methods = c.Methods[:1]
+	c.Seeds = []int64{3, 9}
+	cells := c.Expand()
+	if len(cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(cells))
+	}
+	if cells[0].Seed != 3 || cells[1].Seed != 9 {
+		t.Fatalf("seed axis out of order: %d, %d", cells[0].Seed, cells[1].Seed)
+	}
+}
+
+// The satellite contract: JSON marshal -> unmarshal -> Expand is identical
+// to direct expansion for every builtin campaign.
+func TestCampaignJSONRoundTrip(t *testing.T) {
+	for _, c := range BuiltinCampaigns(QuickScaleSpec()) {
+		var buf bytes.Buffer
+		if err := c.Dump(&buf); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		loaded, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if !reflect.DeepEqual(c, loaded) {
+			t.Fatalf("%s: spec changed across the JSON round trip:\n%+v\nvs\n%+v", c.Name, c, loaded)
+		}
+		if !reflect.DeepEqual(c.Expand(), loaded.Expand()) {
+			t.Fatalf("%s: round-tripped expansion differs", c.Name)
+		}
+		// Dumping the loaded spec reproduces the bytes (golden-file
+		// stability).
+		var buf2 bytes.Buffer
+		if err := loaded.Dump(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("%s: Dump is not byte-stable", c.Name)
+		}
+	}
+}
+
+func TestLoadRejectsUnknownFieldsAndBadSpecs(t *testing.T) {
+	good := PaperCampaign(QuickScaleSpec())
+	var buf bytes.Buffer
+	if err := good.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown field.
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["scenarioss"] = []any{}
+	b, _ := json.Marshal(raw)
+	if _, err := Load(bytes.NewReader(b)); err == nil {
+		t.Fatal("Load accepted an unknown field")
+	}
+
+	// Invalid scale sizing must fail loudly at Load.
+	bad := good
+	bad.Scale.Div = 0
+	var badBuf bytes.Buffer
+	enc := json.NewEncoder(&badBuf)
+	if err := enc.Encode(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&badBuf); err == nil || !strings.Contains(err.Error(), "div") {
+		t.Fatalf("Load(div=0) error = %v, want a div complaint", err)
+	}
+}
+
+func TestValidationCatchesFieldErrors(t *testing.T) {
+	base, _ := ByName("S1")
+	cases := []struct {
+		name   string
+		mutate func(*ScenarioSpec)
+	}{
+		{"negative bbprob", func(s *ScenarioSpec) { s.BBProb = -0.1 }},
+		{"bbprob above one", func(s *ScenarioSpec) { s.BBProb = 1.5 }},
+		{"zero min_tb", func(s *ScenarioSpec) { s.MinTB = 0 }},
+		{"max below min", func(s *ScenarioSpec) { s.MaxTB = s.MinTB - 1 }},
+		{"negative div", func(s *ScenarioSpec) { s.Div = -1 }},
+		{"negative ia scale", func(s *ScenarioSpec) { s.InterarrivalScale = -0.5 }},
+		{"negative wtn sigma", func(s *ScenarioSpec) { s.WalltimeNoiseSigma = -1 }},
+		{"power fields without power", func(s *ScenarioSpec) { s.MinW = 100 }},
+		{"no name", func(s *ScenarioSpec) { s.Name = "" }},
+	}
+	for _, tc := range cases {
+		sp := base
+		tc.mutate(&sp)
+		if err := sp.Validate(); err == nil {
+			t.Fatalf("%s: Validate accepted %+v", tc.name, sp)
+		}
+	}
+
+	scaleCases := []func(*ScaleSpec){
+		func(s *ScaleSpec) { s.Div = 0 },
+		func(s *ScaleSpec) { s.Window = -1 },
+		func(s *ScaleSpec) { s.SetSize = 0 },
+		func(s *ScaleSpec) { s.TraceDuration = 0 },
+		func(s *ScaleSpec) { s.SetsPerKind = 0 },
+		func(s *ScaleSpec) { s.MeanInterarrival = -5 },
+		func(s *ScaleSpec) { s.EpsDecay = 0 },
+	}
+	for i, mutate := range scaleCases {
+		sc := QuickScaleSpec()
+		mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Fatalf("scale case %d: Validate accepted %+v", i, sc)
+		}
+	}
+
+	methodCases := []MethodSpec{
+		{Kind: "bogus"},
+		{Kind: KindHeuristic, Train: true},
+		{Kind: KindScalarRL, Model: "x.model"},
+		{Kind: KindMRSch, Model: "x.model", Train: true},
+		{Kind: KindOptimize, CNN: true},
+	}
+	for i, m := range methodCases {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("method case %d: Validate accepted %+v", i, m)
+		}
+	}
+}
+
+func TestMethodByName(t *testing.T) {
+	for _, k := range Kinds() {
+		for _, name := range []string{string(k), k.DisplayName()} {
+			m, err := MethodByName(name)
+			if err != nil {
+				t.Fatalf("MethodByName(%q): %v", name, err)
+			}
+			if m.Kind != k {
+				t.Fatalf("MethodByName(%q) = %s, want %s", name, m.Kind, k)
+			}
+		}
+	}
+	if _, err := MethodByName("sjf"); err == nil {
+		t.Fatal("MethodByName accepted an unknown method")
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"quick", "standard", "tiny"} {
+		sc, err := ScaleByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Name != name {
+			t.Fatalf("ScaleByName(%q).Name = %q", name, sc.Name)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("builtin scale %s invalid: %v", name, err)
+		}
+	}
+	if _, err := ScaleByName("huge"); err == nil {
+		t.Fatal("ScaleByName accepted an unknown scale")
+	}
+}

@@ -124,6 +124,15 @@ func PowerScenarios() []PowerScenario {
 // units scaled to the system's budget. sys must already include the power
 // resource (see WithPower).
 func ApplyPower(base []*job.Job, pool []float64, sc PowerScenario, sys cluster.Config, seed int64) []*job.Job {
+	return ApplyPowerBudget(base, pool, sc, sys, ThetaPowerBudgetKW, seed)
+}
+
+// ApplyPowerBudget is ApplyPower against an explicit full-machine power
+// budget in kW: physical watt draws are converted to capacity units
+// relative to that budget, so a tighter budget makes the same draw a larger
+// fraction of the system — the binding knob behind ScenarioSpec's
+// power_budget_kw. sys must carry a matching capacity (WithPowerBudget).
+func ApplyPowerBudget(base []*job.Job, pool []float64, sc PowerScenario, sys cluster.Config, budgetKW int, seed int64) []*job.Job {
 	if len(sys.Capacities) < 3 {
 		panic("workload: ApplyPower requires a power-extended system (WithPower)")
 	}
@@ -135,7 +144,7 @@ func ApplyPower(base []*job.Job, pool []float64, sc PowerScenario, sys cluster.C
 	jobs := Apply(base, pool, sc.Scenario, twoRes, seed)
 	rng := rand.New(rand.NewSource(seed + 7919))
 	budget := sys.Capacities[2]
-	fullBudgetW := float64(ThetaPowerBudgetKW*1000) * float64(sys.Capacities[0]) / float64(ThetaNodes)
+	fullBudgetW := float64(budgetKW*1000) * float64(sys.Capacities[0]) / float64(ThetaNodes)
 	for _, j := range jobs {
 		perNode := sc.MinW + rng.Float64()*(sc.MaxW-sc.MinW)
 		draw := perNode * float64(j.Demand[0])

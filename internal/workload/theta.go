@@ -46,7 +46,13 @@ func ThetaScaled(div int) cluster.Config {
 // resource (1 kW units). The budget scales with the node count so the
 // contention ratio matches the full machine's 500 kW.
 func WithPower(sys cluster.Config) cluster.Config {
-	budget := maxInt(2, int(math.Round(float64(ThetaPowerBudgetKW)*float64(sys.Capacities[0])/float64(ThetaNodes))))
+	return WithPowerBudget(sys, ThetaPowerBudgetKW)
+}
+
+// WithPowerBudget is WithPower with an explicit full-machine budget in kW
+// (scenario specs may tighten or relax the paper's 500 kW).
+func WithPowerBudget(sys cluster.Config, budgetKW int) cluster.Config {
+	budget := maxInt(2, int(math.Round(float64(budgetKW)*float64(sys.Capacities[0])/float64(ThetaNodes))))
 	out := cluster.Config{
 		Name:       sys.Name + "+power",
 		Resources:  append(append([]string{}, sys.Resources...), "power_kw"),

@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/job"
+)
+
+// NoiseWalltimes returns a copy of jobs whose user walltime estimates are
+// perturbed by multiplicative lognormal noise: w' = w * exp(sigma * N(0,1)),
+// re-snapped to the 15-minute request grid the generator uses and floored
+// at the actual runtime — estimates stay upper bounds of the true runtime,
+// the invariant the generator maintains and reservation/backfilling
+// planning assumes. sigma <= 0 returns the input unchanged. Arrivals,
+// runtimes, and demands are untouched: this is the walltime-estimate-noise
+// theta axis, degrading only the information schedulers plan with.
+func NoiseWalltimes(jobs []*job.Job, sigma float64, seed int64) []*job.Job {
+	if sigma <= 0 {
+		return jobs
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*job.Job, len(jobs))
+	for i, j := range jobs {
+		c := j.Clone()
+		w := c.Walltime * math.Exp(sigma*rng.NormFloat64())
+		w = math.Ceil(w/900) * 900
+		if w < c.Runtime {
+			w = math.Ceil(c.Runtime/900) * 900
+		}
+		c.Walltime = w
+		out[i] = c
+	}
+	return out
+}

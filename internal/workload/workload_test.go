@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -423,5 +424,97 @@ func TestApplyValidityProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestNoiseWalltimes(t *testing.T) {
+	sys := ThetaScaled(32)
+	base := GenerateBase(DefaultGenerator(sys, 41))
+	if len(base) == 0 {
+		t.Fatal("empty base trace")
+	}
+
+	// sigma <= 0 is the identity.
+	if got := NoiseWalltimes(base, 0, 7); !reflect.DeepEqual(got, base) {
+		t.Fatal("sigma=0 is not the identity")
+	}
+
+	noised := NoiseWalltimes(base, 0.5, 7)
+	if len(noised) != len(base) {
+		t.Fatalf("%d jobs out, want %d", len(noised), len(base))
+	}
+	changed := 0
+	for i, j := range noised {
+		b := base[i]
+		if j == b {
+			t.Fatal("NoiseWalltimes returned an aliased job instead of a clone")
+		}
+		if j.Submit != b.Submit || j.Runtime != b.Runtime || !reflect.DeepEqual(j.Demand, b.Demand) {
+			t.Fatalf("job %d: noise touched a non-walltime field", i)
+		}
+		if j.Walltime < j.Runtime {
+			t.Fatalf("job %d: noised walltime %v underruns runtime %v", i, j.Walltime, j.Runtime)
+		}
+		if w := j.Walltime; w != math.Ceil(w/900)*900 {
+			t.Fatalf("job %d: walltime %v off the 15-minute grid", i, w)
+		}
+		if j.Walltime != b.Walltime {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("sigma=0.5 changed no walltime at all")
+	}
+
+	// Determinism: same seed, same output; different seed, different noise.
+	again := NoiseWalltimes(base, 0.5, 7)
+	if !jobsEqual(noised, again) {
+		t.Fatal("NoiseWalltimes is not deterministic for a fixed seed")
+	}
+	other := NoiseWalltimes(base, 0.5, 8)
+	if jobsEqual(noised, other) {
+		t.Fatal("different seeds produced identical noise")
+	}
+}
+
+func jobsEqual(a, b []*job.Job) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Walltime != b[i].Walltime || a[i].Submit != b[i].Submit {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWithPowerBudget(t *testing.T) {
+	sys := ThetaScaled(16)
+	def := WithPower(sys)
+	same := WithPowerBudget(sys, ThetaPowerBudgetKW)
+	if !reflect.DeepEqual(def, same) {
+		t.Fatalf("WithPowerBudget(500) != WithPower: %+v vs %+v", same, def)
+	}
+	tight := WithPowerBudget(sys, 250)
+	if tight.Capacities[2] >= def.Capacities[2] {
+		t.Fatalf("tighter budget did not shrink capacity: %d vs %d", tight.Capacities[2], def.Capacities[2])
+	}
+
+	// A tighter budget makes the same physical draws a larger fraction of
+	// capacity: power demand units stay put while capacity shrinks.
+	base := GenerateBase(DefaultGenerator(sys, 51))
+	pool := AssignDarshanBB(base, sys.Capacities[1], 52)
+	psc := PowerScenarios()[0]
+	defJobs := ApplyPowerBudget(base, pool, psc, def, ThetaPowerBudgetKW, 9)
+	tightJobs := ApplyPowerBudget(base, pool, psc, tight, 250, 9)
+	for i := range defJobs {
+		if tightJobs[i].Demand[2] < defJobs[i].Demand[2]/2-1 {
+			t.Fatalf("job %d: tight-budget demand %d collapsed vs default %d", i, tightJobs[i].Demand[2], defJobs[i].Demand[2])
+		}
+	}
+	legacy := ApplyPower(base, pool, psc, def, 9)
+	if !reflect.DeepEqual(defJobs, legacy) {
+		t.Fatal("ApplyPowerBudget(500) differs from ApplyPower")
 	}
 }
