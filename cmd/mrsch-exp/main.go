@@ -8,7 +8,7 @@
 // Usage:
 //
 //	mrsch-exp [-scale quick|standard|tiny] [-fig all|1|3|4|5|6|7|8|9|10|sweep] [-parallel 4] [-pipeline]
-//	mrsch-exp -campaign spec.json [-parallel 4] [-pipeline]
+//	mrsch-exp -campaign spec.json [-parallel 4] [-pipeline] [-checkpoint dir [-resume]]
 //	mrsch-exp -campaign paper|theta-variants [-scale quick]
 //	mrsch-exp -dump-campaign paper|theta-variants [-scale quick]
 //	mrsch-exp -list
@@ -36,6 +36,14 @@
 // stay reproducible for a fixed (seed, -parallel) pair but differ from
 // barrier-mode campaigns (one-round policy lag); figure tables trained
 // either way keep their qualitative shape.
+//
+// -checkpoint DIR (campaign mode only) makes campaign runs durable twice
+// over: trained family models are stored content-addressed in DIR (keyed
+// by scenario family plus a hash of the spec and training settings), so
+// re-running a finished campaign retrains zero models; and in-process
+// family training writes round-granular checkpoints there, so -resume
+// continues a preempted training run bitwise identically instead of
+// restarting it.
 package main
 
 import (
@@ -56,6 +64,8 @@ func main() {
 	parallel := flag.Int("parallel", 1, "parallel rollout environments (0 = all CPU cores)")
 	pipeline := flag.Bool("pipeline", false, "overlap collection with training against a versioned weight snapshot")
 	campaignFlag := flag.String("campaign", "", "run a campaign: a spec JSON file or a builtin name (paper, theta-variants)")
+	checkpoint := flag.String("checkpoint", "", "campaign mode: directory for the family-model store and training checkpoints")
+	resume := flag.Bool("resume", false, "campaign mode: resume preempted family training from -checkpoint")
 	dumpFlag := flag.String("dump-campaign", "", "write a builtin campaign spec (paper, theta-variants) as JSON to stdout and exit")
 	listFlag := flag.Bool("list", false, "list builtin scenarios, methods, theta-variant axes, and campaigns, then exit")
 	flag.Parse()
@@ -94,11 +104,19 @@ func main() {
 		return
 	}
 
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "mrsch-exp: -resume requires -checkpoint DIR (there is nothing to resume from)")
+		os.Exit(2)
+	}
 	if *campaignFlag != "" {
 		set := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		runCampaign(*campaignFlag, scaleSpec, *parallel, *pipeline, set["scale"], set["seed"], *seed)
+		runCampaign(*campaignFlag, scaleSpec, *parallel, *pipeline, *checkpoint, *resume, set["scale"], set["seed"], *seed)
 		return
+	}
+	if *checkpoint != "" {
+		fmt.Fprintln(os.Stderr, "mrsch-exp: -checkpoint applies to campaign mode only; run it with -campaign (figure-mode training is not checkpointed)")
+		os.Exit(2)
 	}
 
 	runFigures(scaleSpec, *figFlag, *parallel, *pipeline)
@@ -107,7 +125,7 @@ func main() {
 // runCampaign resolves a builtin name or spec file and runs it. A spec
 // file carries its own scale, so an explicit -scale is rejected rather
 // than silently ignored; an explicit -seed overrides the file's seed.
-func runCampaign(ref string, scaleSpec scenario.ScaleSpec, parallel int, pipeline bool, scaleSet, seedSet bool, seed int64) {
+func runCampaign(ref string, scaleSpec scenario.ScaleSpec, parallel int, pipeline bool, checkpoint string, resume bool, scaleSet, seedSet bool, seed int64) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "mrsch-exp: %v\n", err)
 		os.Exit(1)
@@ -133,7 +151,24 @@ func runCampaign(ref string, scaleSpec scenario.ScaleSpec, parallel int, pipelin
 	fmt.Printf("MRSch campaign %s — scale=%s (Theta/%d, seed %d), %d scenarios x %d methods\n\n",
 		spec.Name, spec.Scale.Name, spec.Scale.Div, spec.Scale.Seed, len(spec.Scenarios), len(spec.Methods))
 	start := time.Now()
-	results, err := experiments.RunCampaign(spec, experiments.CampaignOptions{Workers: parallel, Pipelined: pipeline})
+	opt := experiments.CampaignOptions{
+		Workers:       parallel,
+		Pipelined:     pipeline,
+		ModelDir:      checkpoint,
+		CheckpointDir: checkpoint,
+		Resume:        resume,
+	}
+	if checkpoint != "" {
+		opt.OnModel = func(family, action, path string) {
+			switch action {
+			case "cached":
+				fmt.Printf("family %s: reusing stored model %s\n", family, path)
+			case "trained":
+				fmt.Printf("family %s: trained and stored %s\n", family, path)
+			}
+		}
+	}
+	results, err := experiments.RunCampaign(spec, opt)
 	// Cell failures don't abort the rest of the grid: print whatever
 	// completed before reporting the failures.
 	if len(results) > 0 {

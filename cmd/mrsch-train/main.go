@@ -18,6 +18,19 @@
 // mode runs (the collection policy lags one round); with -validate, the
 // validation protocol scores the live weights as usual while only snapshot
 // readers are in flight.
+//
+// -checkpoint DIR makes the run durable: the agent's full training state
+// (weights, Adam moments, replay rings, epsilon and rng cursors) is written
+// atomically to DIR at every round boundary. -resume restarts an
+// interrupted run from its checkpoint — bitwise identical to never having
+// been interrupted for the same (-workload, -scale, -parallel, -pipeline)
+// flags, which the checkpoint records (including a hash of the full scale
+// spec) and verifies. With no checkpoint file present, -resume starts
+// fresh, so a preemptable job can always launch with both flags.
+// -checkpoint-every N throttles writes to every Nth round boundary (the
+// final boundary always writes) when serializing the replay buffer every
+// round would rival the round's training time. -validate does not compose with -checkpoint (the
+// model-selection state is not checkpointed) and is rejected.
 package main
 
 import (
@@ -39,6 +52,9 @@ func main() {
 	validate := flag.Bool("validate", false, "keep the best weights by validation score (§IV-A protocol)")
 	parallel := flag.Int("parallel", 1, "parallel rollout environments (0 = all CPU cores)")
 	pipeline := flag.Bool("pipeline", false, "overlap collection with training against a versioned weight snapshot")
+	checkpoint := flag.String("checkpoint", "", "directory for round-boundary training checkpoints (empty = no checkpointing)")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "write a checkpoint every N round boundaries (the final boundary always writes)")
+	resume := flag.Bool("resume", false, "resume from the checkpoint in -checkpoint if one exists (requires identical flags)")
 	flag.Parse()
 
 	// Flag combinations fail loudly: a negative -parallel used to fall back
@@ -51,6 +67,18 @@ func main() {
 	}
 	if *pipeline && *parallel == 1 {
 		fmt.Fprintln(os.Stderr, "mrsch-train: note: -pipeline with -parallel 1 overlaps each episode's collection with the previous episode's gradient steps only; raise -parallel for wider rounds")
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "mrsch-train: -resume requires -checkpoint DIR (there is nothing to resume from)")
+		os.Exit(2)
+	}
+	if *checkpointEvery < 1 {
+		fmt.Fprintf(os.Stderr, "mrsch-train: -checkpoint-every must be >= 1, got %d\n", *checkpointEvery)
+		os.Exit(2)
+	}
+	if *validate && *checkpoint != "" {
+		fmt.Fprintln(os.Stderr, "mrsch-train: -validate does not compose with -checkpoint: the §IV-A model-selection state (best weights seen so far) is not part of the checkpoint, so a resumed run would silently lose it; train without -validate or without -checkpoint")
+		os.Exit(2)
 	}
 
 	var sc experiments.Scale
@@ -76,6 +104,16 @@ func main() {
 
 	sc.RolloutWorkers = *parallel
 	sc.Pipelined = *pipeline
+	sc.CheckpointDir = *checkpoint
+	sc.CheckpointEvery = *checkpointEvery
+	sc.Resume = *resume
+	resumedAt := 0
+	sc.OnCheckpoint = func(action string, episodes int) {
+		if action == "resume" {
+			resumedAt = episodes
+			fmt.Printf("resumed from checkpoint: %d episode(s) already trained\n", episodes)
+		}
+	}
 
 	mode := "barrier"
 	if sc.Pipelined {
@@ -105,7 +143,7 @@ func main() {
 		os.Exit(1)
 	}
 	for i, r := range results {
-		fmt.Printf("  episode %2d [%s] loss=%.4f eps=%.3f\n", i+1, r.Set, r.Loss, r.Epsilon)
+		fmt.Printf("  episode %2d [%s] loss=%.4f eps=%.3f\n", resumedAt+i+1, r.Set, r.Loss, r.Epsilon)
 	}
 
 	path := *out

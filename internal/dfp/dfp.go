@@ -175,6 +175,9 @@ type Agent struct {
 	params []*nn.Param
 	opt    *nn.Adam
 	rng    *rand.Rand
+	// rngSrc is rng's underlying source; its draw cursor is what
+	// SaveState/LoadState (state.go) persist to resume the stream exactly.
+	rngSrc *nn.CursorSource
 
 	eps     float64
 	replay  *replay
@@ -201,10 +204,14 @@ func New(cfg Config) *Agent {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The agent rng rides a CursorSource so its position can be
+	// checkpointed; the draw streams are bit-identical to rand.NewSource.
+	src := nn.NewCursorSource(cfg.Seed)
+	rng := rand.New(src)
 	a := &Agent{
 		cfg:    cfg,
 		rng:    rng,
+		rngSrc: src,
 		eps:    cfg.EpsStart,
 		replay: newReplay(cfg.ReplayCap, cfg.ReplayShards),
 	}

@@ -55,4 +55,18 @@
 //     snapshot at a synchronization point with no snapshot actor mid-
 //     forward; internal/rollout's pipelined mode provides exactly that
 //     point between rounds.
+//
+// # Durable state
+//
+// Save/Load persist weights only (the model-file format). SaveState/
+// LoadState (state.go) persist the agent's complete training state —
+// weights, published snapshot buffers, Adam moments and step counter, the
+// sharded replay rings with their cursors, the epsilon schedule position,
+// the rng draw cursor, and any in-flight episode — in a versioned,
+// SHA-256-checksummed container. Saving at a quiescent point and loading
+// into an identically-configured agent resumes training bit-for-bit
+// (internal/rollout's round-boundary checkpoint hook is that point; see
+// its package doc, rules 9-10). LoadState validates the entire container
+// against the agent before mutating anything: corrupt, truncated, or
+// mismatched input fails with a descriptive error and no partial state.
 package dfp

@@ -1,0 +1,242 @@
+// Durable agent state. Save (dfp.go) persists weights only — the model-file
+// format consumed by evaluation. SaveState persists everything training
+// needs to resume bit-for-bit: weights, published snapshot buffers, Adam
+// moments and step counter (nn.TrainState), the sharded replay rings with
+// their wraparound and round-robin cursors, the epsilon schedule position,
+// the rng cursor, and any in-flight episode record. LoadState validates the
+// whole container against the receiving agent's architecture before
+// mutating anything: corrupt, truncated, or mismatched input fails with a
+// descriptive error and leaves the agent untouched.
+package dfp
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/nn"
+)
+
+// stateMagic versions the container. Bump it when the format changes
+// incompatibly; LoadState reports a mismatch instead of misreading.
+const stateMagic = "mrsch-dfp-state-v1"
+
+func init() {
+	// Fixed-order gob type-ID claim, keeping encoded bytes history-free
+	// (see nn.GobWarmup).
+	nn.RegisterGobContainer(func(enc *gob.Encoder) { enc.Encode(&agentState{}) })
+}
+
+// savedShard is one replay ring: the stored experiences in buffer-index
+// order (the filled prefix when the ring has not wrapped, the whole buffer
+// when it has), plus the ring geometry.
+type savedShard struct {
+	Cap   int
+	Next  int
+	Full  bool
+	Items []Experience
+}
+
+// savedStep mirrors stepRecord (whose fields are unexported) for gob.
+type savedStep struct {
+	State  []float64
+	Meas   []float64
+	Goal   []float64
+	Action int
+	Valid  int
+}
+
+// agentState is the gob container written by SaveState.
+type agentState struct {
+	Magic string
+
+	// Architecture guards: a checkpoint only loads into an agent whose
+	// dimensions, seed, and replay layout match the one that wrote it.
+	StateDim     int
+	Measurements int
+	Actions      int
+	PredDim      int
+	Seed         int64
+
+	Train nn.TrainState
+
+	RngCursor  uint64
+	Eps        float64
+	TrainSteps int
+
+	Shards    []savedShard
+	AddCur    int
+	SampleCur int
+
+	Episode []savedStep
+}
+
+// SaveState writes the agent's full training state to w. The agent must be
+// quiescent — no TrainStep or rollout in flight — which is exactly the
+// state internal/rollout's round-boundary checkpoint hook guarantees.
+func (a *Agent) SaveState(w io.Writer) error {
+	st := agentState{
+		Magic:        stateMagic,
+		StateDim:     a.cfg.StateDim,
+		Measurements: a.cfg.Measurements,
+		Actions:      a.cfg.Actions,
+		PredDim:      a.cfg.PredDim(),
+		Seed:         a.cfg.Seed,
+		Train:        nn.CaptureTrainState(a.params, a.opt),
+		RngCursor:    a.rngSrc.Cursor(),
+		Eps:          a.eps,
+		TrainSteps:   a.trainSteps,
+		AddCur:       a.replay.addCur,
+		SampleCur:    a.replay.sampleCur,
+	}
+	for i := range a.replay.shards {
+		s := &a.replay.shards[i]
+		sv := savedShard{Cap: len(s.buf), Next: s.next, Full: s.full}
+		for _, e := range s.buf[:s.len()] {
+			sv.Items = append(sv.Items, *e)
+		}
+		st.Shards = append(st.Shards, sv)
+	}
+	for _, rec := range a.episode {
+		st.Episode = append(st.Episode, savedStep{
+			State: rec.state, Meas: rec.meas, Goal: rec.goal,
+			Action: rec.action, Valid: rec.valid,
+		})
+	}
+	if err := nn.EncodeChecksummed(w, &st); err != nil {
+		return fmt.Errorf("dfp: save state: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores state previously written by SaveState into an agent
+// constructed with the same Config. The container is decoded and validated
+// in full first; any error — decode failure, version mismatch, or a
+// mismatch with this agent's architecture, seed, or replay layout — is
+// returned with nothing applied.
+func (a *Agent) LoadState(r io.Reader) error {
+	var st agentState
+	if err := nn.DecodeChecksummed(r, &st); err != nil {
+		return fmt.Errorf("dfp: load state: %w", err)
+	}
+	if err := a.checkState(&st); err != nil {
+		return fmt.Errorf("dfp: load state: %w", err)
+	}
+
+	// Validation passed: apply every section. Apply cannot fail after Check.
+	if err := st.Train.Apply(a.params, a.opt); err != nil {
+		return fmt.Errorf("dfp: load state: %w", err) // unreachable: checked above
+	}
+	a.rngSrc.SeekTo(st.RngCursor)
+	a.eps = st.Eps
+	a.trainSteps = st.TrainSteps
+	a.replay.addCur = st.AddCur
+	a.replay.sampleCur = st.SampleCur
+	for i := range a.replay.shards {
+		s := &a.replay.shards[i]
+		sv := &st.Shards[i]
+		s.next = sv.Next
+		s.full = sv.Full
+		for j := range s.buf {
+			s.buf[j] = nil
+		}
+		for j := range sv.Items {
+			e := sv.Items[j]
+			s.buf[j] = &e
+		}
+	}
+	a.episode = nil
+	for _, rec := range st.Episode {
+		a.episode = append(a.episode, &stepRecord{
+			state: rec.State, meas: rec.Meas, goal: rec.Goal,
+			action: rec.Action, valid: rec.Valid,
+		})
+	}
+	return nil
+}
+
+// checkState validates the decoded container against the agent without
+// mutating anything.
+func (a *Agent) checkState(st *agentState) error {
+	if st.Magic != stateMagic {
+		return fmt.Errorf("bad magic %q (want %q; corrupt file or incompatible format version)", st.Magic, stateMagic)
+	}
+	pd := a.cfg.PredDim()
+	if st.StateDim != a.cfg.StateDim || st.Measurements != a.cfg.Measurements ||
+		st.Actions != a.cfg.Actions || st.PredDim != pd {
+		return fmt.Errorf("architecture mismatch: state was saved for dims state=%d meas=%d actions=%d pred=%d, agent has state=%d meas=%d actions=%d pred=%d",
+			st.StateDim, st.Measurements, st.Actions, st.PredDim,
+			a.cfg.StateDim, a.cfg.Measurements, a.cfg.Actions, pd)
+	}
+	if st.Seed != a.cfg.Seed {
+		return fmt.Errorf("seed mismatch: state was saved at seed %d, agent runs seed %d (the rng cursor is only meaningful for the saved seed)", st.Seed, a.cfg.Seed)
+	}
+	if st.RngCursor > nn.MaxRngCursor {
+		return fmt.Errorf("rng cursor %d exceeds the plausible maximum %d (corrupt or hand-crafted state; replaying it would hang the loader)", st.RngCursor, uint64(nn.MaxRngCursor))
+	}
+	if err := st.Train.Check(a.params); err != nil {
+		return err
+	}
+	if st.Eps < 0 || st.Eps > 1 {
+		return fmt.Errorf("epsilon %g outside [0,1]", st.Eps)
+	}
+	if st.TrainSteps < 0 {
+		return fmt.Errorf("negative train-step counter %d", st.TrainSteps)
+	}
+	if len(st.Shards) != len(a.replay.shards) {
+		return fmt.Errorf("replay layout mismatch: state has %d shards, agent has %d (ReplayShards must match the saving configuration)",
+			len(st.Shards), len(a.replay.shards))
+	}
+	if st.AddCur < 0 || st.AddCur >= len(a.replay.shards) || st.SampleCur < 0 || st.SampleCur >= len(a.replay.shards) {
+		return fmt.Errorf("replay cursors out of range: add=%d sample=%d for %d shards", st.AddCur, st.SampleCur, len(a.replay.shards))
+	}
+	for i := range st.Shards {
+		sv := &st.Shards[i]
+		cap := len(a.replay.shards[i].buf)
+		if sv.Cap != cap {
+			return fmt.Errorf("replay shard %d capacity mismatch: state has %d, agent has %d (ReplayCap must match the saving configuration)", i, sv.Cap, cap)
+		}
+		if sv.Next < 0 || sv.Next >= cap {
+			return fmt.Errorf("replay shard %d wraparound cursor %d out of range [0,%d)", i, sv.Next, cap)
+		}
+		want := sv.Next
+		if sv.Full {
+			want = cap
+		}
+		if len(sv.Items) != want {
+			return fmt.Errorf("replay shard %d has %d stored experiences, geometry implies %d (next=%d full=%v)",
+				i, len(sv.Items), want, sv.Next, sv.Full)
+		}
+		for j := range sv.Items {
+			if err := a.checkExperience(&sv.Items[j]); err != nil {
+				return fmt.Errorf("replay shard %d experience %d: %w", i, j, err)
+			}
+		}
+	}
+	for i := range st.Episode {
+		rec := &st.Episode[i]
+		if len(rec.State) != a.cfg.StateDim || len(rec.Meas) != a.cfg.Measurements || len(rec.Goal) != pd {
+			return fmt.Errorf("episode step %d vector lengths state=%d meas=%d goal=%d, want %d/%d/%d",
+				i, len(rec.State), len(rec.Meas), len(rec.Goal), a.cfg.StateDim, a.cfg.Measurements, pd)
+		}
+		if rec.Action < 0 || rec.Action >= a.cfg.Actions || rec.Valid <= 0 || rec.Valid > a.cfg.Actions {
+			return fmt.Errorf("episode step %d action %d / valid %d out of range for %d actions", i, rec.Action, rec.Valid, a.cfg.Actions)
+		}
+	}
+	return nil
+}
+
+// checkExperience validates one replay sample's vector lengths and action.
+func (a *Agent) checkExperience(e *Experience) error {
+	pd := a.cfg.PredDim()
+	if len(e.State) != a.cfg.StateDim || len(e.Meas) != a.cfg.Measurements || len(e.Goal) != pd ||
+		len(e.Target) != pd || len(e.Mask) != pd {
+		return fmt.Errorf("vector lengths state=%d meas=%d goal=%d target=%d mask=%d, want %d/%d/%d/%d/%d",
+			len(e.State), len(e.Meas), len(e.Goal), len(e.Target), len(e.Mask),
+			a.cfg.StateDim, a.cfg.Measurements, pd, pd, pd)
+	}
+	if e.Action < 0 || e.Action >= a.cfg.Actions {
+		return fmt.Errorf("action %d out of range for %d actions", e.Action, a.cfg.Actions)
+	}
+	return nil
+}

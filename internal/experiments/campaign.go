@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/core"
@@ -28,8 +32,8 @@ type CellResult struct {
 }
 
 // CampaignOptions are the runtime knobs deliberately kept out of the
-// serialized spec: how wide to fan out, and the training mode for
-// in-process family models.
+// serialized spec: how wide to fan out, the training mode for in-process
+// family models, and the durability knobs (model store + checkpoints).
 type CampaignOptions struct {
 	// Workers bounds parallel evaluation episodes and training rollout
 	// environments (0 = all CPU cores).
@@ -37,6 +41,27 @@ type CampaignOptions struct {
 	// Pipelined trains family models with collection overlapped against a
 	// versioned weight snapshot (rollout.Config.Pipelined).
 	Pipelined bool
+	// ModelDir, when non-empty, is the content-addressed model store:
+	// every in-process-trained family model is saved there under a name
+	// derived from the scenario family and a hash of everything its
+	// weights are a deterministic function of (method, family, base
+	// materials, scale spec, worker count, training mode). A later
+	// campaign whose key hashes to an existing file loads it instead of
+	// retraining — re-running a finished campaign trains zero models.
+	ModelDir string
+	// CheckpointDir/CheckpointEvery/Resume make the in-process family
+	// training runs durable at round granularity (see the matching Scale
+	// fields): a preempted campaign re-run with Resume continues each
+	// partially trained family model from its last written boundary.
+	CheckpointDir   string
+	CheckpointEvery int
+	Resume          bool
+	// OnModel, when non-nil, observes family-model resolution: action is
+	// "trained" (trained in-process this run), "cached" (loaded from the
+	// ModelDir store), or "file" (loaded from an explicit MethodSpec.Model
+	// path). path names the file involved ("" for in-process training
+	// with no store).
+	OnModel func(family, action, path string)
 }
 
 // campaignRun holds the resolved state shared by a campaign's cells. All
@@ -44,6 +69,7 @@ type CampaignOptions struct {
 // afterwards.
 type campaignRun struct {
 	spec      scenario.CampaignSpec
+	opt       CampaignOptions
 	baseScale Scale
 	materials map[string]*Materials
 	mrsch     map[string]*core.MRSch
@@ -61,8 +87,17 @@ func RunCampaign(spec scenario.CampaignSpec, opt CampaignOptions) ([]CellResult,
 	baseScale := ScaleFromSpec(spec.Scale)
 	baseScale.RolloutWorkers = opt.Workers
 	baseScale.Pipelined = opt.Pipelined
+	baseScale.CheckpointDir = opt.CheckpointDir
+	baseScale.CheckpointEvery = opt.CheckpointEvery
+	baseScale.Resume = opt.Resume
+	if opt.ModelDir != "" {
+		if err := os.MkdirAll(opt.ModelDir, 0o755); err != nil {
+			return nil, fmt.Errorf("experiments: campaign %s: model store: %w", spec.Name, err)
+		}
+	}
 	run := &campaignRun{
 		spec:      spec,
+		opt:       opt,
 		baseScale: baseScale,
 		materials: make(map[string]*Materials),
 		mrsch:     make(map[string]*core.MRSch),
@@ -177,14 +212,30 @@ func (r *campaignRun) resolveModel(cell scenario.Cell) error {
 		if _, ok := r.mrsch[key]; ok {
 			return nil
 		}
+		stored := r.storePath(cell)
+		// Power families train through TrainMRSchPower, which builds the
+		// MLP state module regardless of method.CNN; every load path must
+		// mirror that construction or the saved weights won't fit.
+		cnn := method.CNN && !sp.Power
 		var agent *core.MRSch
 		var err error
-		if method.Model != "" {
-			agent, err = loadMRSchModel(m, sp, method)
-		} else if sp.Power {
-			agent, err = TrainMRSchPower(m, family)
-		} else {
-			agent, _, err = TrainMRSch(m, family, method.CNN)
+		switch {
+		case method.Model != "":
+			agent, err = loadMRSchModel(m, sp, cnn, method.Model)
+			r.notifyModel(family, "file", method.Model, err)
+		case stored != "" && fileExists(stored):
+			agent, err = loadMRSchModel(m, sp, cnn, stored)
+			r.notifyModel(family, "cached", stored, err)
+		default:
+			if sp.Power {
+				agent, err = TrainMRSchPower(m, family)
+			} else {
+				agent, _, err = TrainMRSch(m, family, method.CNN)
+			}
+			if err == nil && stored != "" {
+				err = storeModel(stored, agent.Save)
+			}
+			r.notifyModel(family, "trained", stored, err)
 		}
 		if err != nil {
 			return fmt.Errorf("model for family %s: %w", family, err)
@@ -195,7 +246,19 @@ func (r *campaignRun) resolveModel(cell scenario.Cell) error {
 		if _, ok := r.scalarRL[key]; ok {
 			return nil
 		}
-		agent, err := TrainScalarRL(m, family, m.SystemFor(sp), sp.Power)
+		stored := r.storePath(cell)
+		var agent *rl.Scheduler
+		var err error
+		if stored != "" && fileExists(stored) {
+			agent, err = loadScalarRLModel(m, sp, stored)
+			r.notifyModel(family, "cached", stored, err)
+		} else {
+			agent, err = TrainScalarRL(m, family, m.SystemFor(sp), sp.Power)
+			if err == nil && stored != "" {
+				err = storeModel(stored, agent.Save)
+			}
+			r.notifyModel(family, "trained", stored, err)
+		}
 		if err != nil {
 			return fmt.Errorf("model for family %s: %w", family, err)
 		}
@@ -204,42 +267,112 @@ func (r *campaignRun) resolveModel(cell scenario.Cell) error {
 	return nil
 }
 
+// storePath returns the content-addressed model-store path for the cell's
+// trained family model, or "" when the store is disabled or the method
+// references an explicit weights file (which IS its own store). The name
+// hashes everything the trained weights are a deterministic function of:
+// the model key (method kind, family, CNN/power flags, base materials),
+// the full scale spec, the effective rollout worker count, and the
+// training mode — so a campaign re-run under identical settings maps to
+// the same file, and a run under different settings cannot silently load
+// weights trained another way.
+func (r *campaignRun) storePath(cell scenario.Cell) string {
+	if r.opt.ModelDir == "" || cell.Method.Model != "" {
+		return ""
+	}
+	spec, err := json.Marshal(r.spec.Scale)
+	if err != nil {
+		return "" // unreachable: ScaleSpec marshals; disable the store rather than mis-key it
+	}
+	content := fmt.Sprintf("v1|%s|scale=%s|workers=%d|pipelined=%v",
+		r.modelKey(cell), spec, rollout.ResolveWorkers(r.baseScale.RolloutWorkers), r.baseScale.Pipelined)
+	name := fmt.Sprintf("%s-%s-%s.model",
+		cell.Method.Kind, sanitizeName(cell.Scenario.FamilyName()), modelStoreKeyHash(content))
+	return filepath.Join(r.opt.ModelDir, name)
+}
+
+// notifyModel reports a family-model resolution to the OnModel observer
+// (successful resolutions only; failures surface through the error path).
+func (r *campaignRun) notifyModel(family, action, path string, err error) {
+	if err == nil && r.opt.OnModel != nil {
+		r.opt.OnModel(family, action, path)
+	}
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// storeModel atomically writes a trained model's weights into the store.
+func storeModel(path string, save func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := save(&buf); err != nil {
+		return err
+	}
+	if err := writeFileAtomic(path, buf.Bytes()); err != nil {
+		return fmt.Errorf("model store: %w", err)
+	}
+	return nil
+}
+
 // loadMRSchModel builds the campaign-architecture agent for the cell's
-// system and restores saved weights (cmd/mrsch-train output) into it.
-func loadMRSchModel(m *Materials, sp scenario.ScenarioSpec, method scenario.MethodSpec) (*core.MRSch, error) {
-	agent := core.New(m.SystemFor(sp), m.Scale.mrschOptions(m.Scale.Seed+11, method.CNN))
-	f, err := os.Open(method.Model)
+// system and restores saved weights (cmd/mrsch-train output or a model-
+// store entry) into it.
+func loadMRSchModel(m *Materials, sp scenario.ScenarioSpec, cnn bool, path string) (*core.MRSch, error) {
+	agent := core.New(m.SystemFor(sp), m.Scale.mrschOptions(m.Scale.Seed+11, cnn))
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	if err := agent.Load(f); err != nil {
-		return nil, fmt.Errorf("loading %s: %w", method.Model, err)
+		return nil, fmt.Errorf("loading %s: %w", path, err)
 	}
 	return agent, nil
 }
 
-// evalCell runs one grid cell as an independent evaluation episode.
+// loadScalarRLModel builds the campaign-architecture scalar-RL scheduler
+// (the shared scalarRLConfig construction TrainScalarRL uses) and
+// restores model-store weights into it.
+func loadScalarRLModel(m *Materials, sp scenario.ScenarioSpec, path string) (*rl.Scheduler, error) {
+	agent := rl.New(m.SystemFor(sp), m.Scale.scalarRLConfig())
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := agent.Load(f); err != nil {
+		return nil, fmt.Errorf("loading %s: %w", path, err)
+	}
+	return agent, nil
+}
+
+// evalCell runs one grid cell as an independent evaluation episode. Error
+// results still carry the cell (with a zero Report), so partial campaign
+// renderings label failed cells by name instead of collapsing them into
+// one anonymous row.
 func (r *campaignRun) evalCell(cell scenario.Cell) (CellResult, error) {
+	failed := CellResult{Cell: cell}
 	m := r.materialsOf(cell)
 	if m == nil {
 		// Unreachable through RunCampaign (resolveMaterials runs first);
 		// guards adapters that seed the materials map themselves.
-		return CellResult{}, fmt.Errorf("no materials prepared for scale %q", materialsKey(r.scaleFor(cell)))
+		return failed, fmt.Errorf("no materials prepared for scale %q", materialsKey(r.scaleFor(cell)))
 	}
 	sp := cell.Scenario
 	sys := m.SystemFor(sp)
 	jobs, err := m.WorkloadSpec(sp)
 	if err != nil {
-		return CellResult{}, err
+		return failed, err
 	}
 	policy, err := r.cellPolicy(m, cell)
 	if err != nil {
-		return CellResult{}, err
+		return failed, err
 	}
 	rep, err := Evaluate(sys, policy, jobs, cell.Method.DisplayName(), sp.Name, sys.ResourceIndex("power_kw"))
 	if err != nil {
-		return CellResult{}, err
+		return failed, err
 	}
 	return CellResult{Cell: cell, Report: rep}, nil
 }
@@ -274,7 +407,10 @@ func (r *campaignRun) cellPolicy(m *Materials, cell scenario.Cell) (*sched.Windo
 	return nil, fmt.Errorf("unknown method kind %q", cell.Method.Kind)
 }
 
-// FprintCells renders campaign results as one table row per cell.
+// FprintCells renders campaign results as one table row per cell and —
+// when the campaign replicates cells across a seed axis — appends a
+// mean/spread aggregation across the replicates of each (scenario, method)
+// pair (the per-cell reports carry everything needed; see fprintSeedAggregate).
 func FprintCells(w io.Writer, name string, results []CellResult) {
 	fmt.Fprintf(w, "Campaign %s — scenario x method x seed grid (episode per cell):\n", name)
 	fmt.Fprintf(w, "  %-16s %-13s %-5s %9s %9s %8s %9s\n",
@@ -296,4 +432,74 @@ func FprintCells(w io.Writer, name string, results []CellResult) {
 			r.Report.Utilization[0], r.Report.Utilization[1],
 			r.Report.AvgWaitHours(), r.Report.AvgSlowdown)
 	}
+	fprintSeedAggregate(w, results)
+}
+
+// fprintSeedAggregate renders the seed-axis summary: one row per
+// (scenario, method) pair that has more than one seed replicate, showing
+// mean ± sample standard deviation of each §IV-B metric across the
+// replicates that produced a report. Campaigns without a seed axis (every
+// pair appears once) print nothing extra.
+func fprintSeedAggregate(w io.Writer, results []CellResult) {
+	type groupKey struct{ scenario, method string }
+	var order []groupKey
+	total := make(map[groupKey]int)
+	reports := make(map[groupKey][]metrics.Report)
+	replicated := false
+	for _, r := range results {
+		k := groupKey{r.Cell.Scenario.Name, r.Cell.Method.DisplayName()}
+		if total[k] == 0 {
+			order = append(order, k)
+		}
+		total[k]++
+		if total[k] > 1 {
+			replicated = true
+		}
+		if len(r.Report.Utilization) >= 2 {
+			reports[k] = append(reports[k], r.Report)
+		}
+	}
+	if !replicated {
+		return
+	}
+	fmt.Fprintf(w, "\n  Across seed replicates (mean±sd):\n")
+	fmt.Fprintf(w, "  %-16s %-13s %-5s %15s %15s %15s %15s\n",
+		"scenario", "method", "n", "util[0]", "util[1]", "wait(h)", "slowdown")
+	for _, k := range order {
+		if total[k] < 2 {
+			continue
+		}
+		reps := reports[k]
+		if len(reps) == 0 {
+			fmt.Fprintf(w, "  %-16s %-13s %-5d %s\n", k.scenario, k.method, total[k], "(all replicates failed)")
+			continue
+		}
+		metric := func(f func(metrics.Report) float64) string {
+			mean, sd := meanSpread(reps, f)
+			return fmt.Sprintf("%8.3f±%-6.3f", mean, sd)
+		}
+		fmt.Fprintf(w, "  %-16s %-13s %-5d %s %s %s %s\n",
+			k.scenario, k.method, len(reps),
+			metric(func(r metrics.Report) float64 { return r.Utilization[0] }),
+			metric(func(r metrics.Report) float64 { return r.Utilization[1] }),
+			metric(metrics.Report.AvgWaitHours),
+			metric(func(r metrics.Report) float64 { return r.AvgSlowdown }))
+	}
+}
+
+// meanSpread computes the mean and sample standard deviation (0 for a
+// single replicate) of f over the reports.
+func meanSpread(reps []metrics.Report, f func(metrics.Report) float64) (mean, sd float64) {
+	for _, r := range reps {
+		mean += f(r)
+	}
+	mean /= float64(len(reps))
+	if len(reps) < 2 {
+		return mean, 0
+	}
+	for _, r := range reps {
+		d := f(r) - mean
+		sd += d * d
+	}
+	return mean, math.Sqrt(sd / float64(len(reps)-1))
 }

@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/nn"
+	"repro/internal/rollout"
+)
+
+// This file makes training runs durable. A run with Scale.CheckpointDir set
+// writes its full agent state to one file at every round boundary (the
+// rollout.Config.Checkpoint hook, rules 9-10 of the rollout package doc);
+// with Scale.Resume set it restores that file and continues from the
+// recorded boundary, bitwise identical to never having been interrupted.
+// The file is a gob container pairing the agent's own state blob
+// (dfp.Agent.SaveState / rl.Scheduler.SaveState) with a manifest of the
+// settings the equivalence contract depends on — episode counts, effective
+// worker count, pipelined mode, and the rollout seed — all of which are
+// verified on resume and rejected loudly on mismatch.
+
+// ckptMagic versions the checkpoint container format.
+const ckptMagic = "mrsch-train-ckpt-v1"
+
+func init() {
+	// Fixed-order gob type-ID claim, keeping encoded bytes history-free
+	// (see nn.GobWarmup).
+	nn.RegisterGobContainer(func(enc *gob.Encoder) { enc.Encode(&trainCheckpoint{}) })
+}
+
+// trainCheckpoint is the on-disk container: the resume manifest plus the
+// agent state blob.
+type trainCheckpoint struct {
+	Magic string
+	// Key names the training run (method kind, scenario family, arity).
+	Key string
+	// SpecHash digests the full scale spec the run's materials and
+	// curriculum derive from: an edit that keeps the episode count but
+	// changes the job sets (set_size, trace_duration, eps_decay, ...)
+	// must not silently resume old-curriculum state on new episodes.
+	SpecHash string
+	// Episodes is the number of episodes fully reduced into the agent;
+	// Total the run's episode count (a second curriculum guard).
+	Episodes int
+	Total    int
+	// Workers/Pipelined/Seed pin the rollout settings the bitwise resume
+	// contract requires (rollout doc rules 9-10).
+	Workers   int
+	Pipelined bool
+	Seed      int64
+	// Agent is the agent's own serialized state (dfp or rl SaveState).
+	Agent []byte
+}
+
+// trainKey names a training run for checkpoint files and log lines.
+func trainKey(kind, family string, cnn, power bool) string {
+	key := kind + "-" + family
+	if cnn {
+		key += "-cnn"
+	}
+	if power {
+		key += "-power"
+	}
+	return key
+}
+
+// sanitizeName maps an arbitrary key to a filesystem-safe token: runs of
+// anything outside [A-Za-z0-9._-] collapse to one '-'.
+func sanitizeName(s string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+			dash = false
+		default:
+			if !dash {
+				b.WriteByte('-')
+				dash = true
+			}
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+// checkpointPath is the run's checkpoint file under dir. The name carries
+// the scale-spec hash: runs over different materials — a campaign's seed
+// replicates or div/ia variants of one family, or an edited spec — each
+// get their own file instead of colliding on (and then refusing) each
+// other's state, so a fleet launched with -resume from day one always
+// either resumes its own run or starts fresh.
+func checkpointPath(dir, key, specHash string) string {
+	return filepath.Join(dir, "train-"+sanitizeName(key)+"-"+specHash+".ckpt")
+}
+
+// writeFileAtomic writes data to path via a temp file + fsync + rename +
+// directory fsync, so neither a crash mid-write nor a power loss shortly
+// after the rename can leave a truncated checkpoint where a complete
+// older one (or nothing) should be.
+func writeFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Flush the data before the rename publishes it: on journaling
+	// filesystems with delayed allocation, rename-before-flush can
+	// survive a power cut as a zero-length file at the final path.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Persist the rename itself (the directory entry).
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// wireCheckpoint arms cfg with the scale's durable-training knobs for one
+// run: a round-boundary save hook writing to the key's file under
+// CheckpointDir, and — with Resume set and a checkpoint present — a
+// validated restore through load with cfg.Resume pointing at the recorded
+// boundary. save/load abstract the agent kind (core.MRSch or
+// rl.Scheduler). total is the run's episode count. No CheckpointDir means
+// no-op.
+func (s Scale) wireCheckpoint(cfg *rollout.Config, key string, total int,
+	save func(io.Writer) error, load func(io.Reader) error) error {
+	if s.CheckpointDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.CheckpointDir, 0o755); err != nil {
+		return fmt.Errorf("experiments: checkpoint dir: %w", err)
+	}
+	workers := rollout.ResolveWorkers(cfg.Workers)
+	specHash, err := s.specHash()
+	if err != nil {
+		return err
+	}
+	path := checkpointPath(s.CheckpointDir, key, specHash)
+
+	if s.Resume {
+		done, err := resumeCheckpoint(path, key, specHash, total, workers, cfg, load)
+		if err != nil {
+			return err
+		}
+		if done >= 0 {
+			cfg.Resume = done
+			if s.OnCheckpoint != nil {
+				s.OnCheckpoint("resume", done)
+			}
+		}
+	}
+
+	every := s.CheckpointEvery
+	if every < 1 {
+		every = 1
+	}
+	boundaries := 0
+	cfg.Checkpoint = func(done int) error {
+		// Throttle to every Nth round boundary; the final boundary always
+		// writes so a completed run's checkpoint is its final state.
+		boundaries++
+		if boundaries%every != 0 && done != total {
+			return nil
+		}
+		var agent bytes.Buffer
+		if err := save(&agent); err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		ck := trainCheckpoint{
+			Magic:     ckptMagic,
+			Key:       key,
+			SpecHash:  specHash,
+			Episodes:  done,
+			Total:     total,
+			Workers:   workers,
+			Pipelined: cfg.Pipelined,
+			Seed:      cfg.Seed,
+			Agent:     agent.Bytes(),
+		}
+		if err := nn.EncodeChecksummed(&buf, &ck); err != nil {
+			return fmt.Errorf("encoding checkpoint: %w", err)
+		}
+		if err := writeFileAtomic(path, buf.Bytes()); err != nil {
+			return fmt.Errorf("writing checkpoint %s: %w", path, err)
+		}
+		if s.OnCheckpoint != nil {
+			s.OnCheckpoint("save", done)
+		}
+		return nil
+	}
+	return nil
+}
+
+// specHash digests the scale spec the run's materials and curriculum are
+// a deterministic function of.
+func (s Scale) specHash() (string, error) {
+	spec, err := json.Marshal(s.Spec())
+	if err != nil {
+		return "", fmt.Errorf("experiments: hashing scale spec: %w", err)
+	}
+	return modelStoreKeyHash("scale|" + string(spec)), nil
+}
+
+// resumeCheckpoint reads and validates the checkpoint at path and restores
+// the agent state through load. It returns the recorded episode boundary,
+// -1 when no checkpoint exists (fresh start), or an error when the file is
+// unreadable or was written under incompatible settings.
+func resumeCheckpoint(path, key, specHash string, total, workers int, cfg *rollout.Config, load func(io.Reader) error) (int, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return -1, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("experiments: resume: %w", err)
+	}
+	var ck trainCheckpoint
+	if err := nn.DecodeChecksummed(bytes.NewReader(data), &ck); err != nil {
+		return 0, fmt.Errorf("experiments: resume %s: %w", path, err)
+	}
+	if ck.Magic != ckptMagic {
+		return 0, fmt.Errorf("experiments: resume %s: bad magic %q (want %q; corrupt file or incompatible format version)", path, ck.Magic, ckptMagic)
+	}
+	if ck.Key != key {
+		return 0, fmt.Errorf("experiments: resume %s: checkpoint is for run %q, this run is %q", path, ck.Key, key)
+	}
+	if ck.SpecHash != specHash {
+		return 0, fmt.Errorf("experiments: resume %s: checkpoint was written for a different scale spec (curriculum/materials drifted between runs; bitwise resume requires an identical spec)", path)
+	}
+	if ck.Total != total {
+		return 0, fmt.Errorf("experiments: resume %s: checkpoint expects %d episodes, this run has %d (curriculum drifted between runs)", path, ck.Total, total)
+	}
+	if ck.Workers != workers {
+		return 0, fmt.Errorf("experiments: resume %s: checkpoint was written with %d rollout workers, this run uses %d (bitwise resume requires identical -parallel)", path, ck.Workers, workers)
+	}
+	if ck.Pipelined != cfg.Pipelined {
+		return 0, fmt.Errorf("experiments: resume %s: checkpoint was written with pipelined=%v, this run uses %v (bitwise resume requires identical -pipeline)", path, ck.Pipelined, cfg.Pipelined)
+	}
+	if ck.Seed != cfg.Seed {
+		return 0, fmt.Errorf("experiments: resume %s: checkpoint was written at rollout seed %d, this run uses %d", path, ck.Seed, cfg.Seed)
+	}
+	if ck.Episodes < 0 || ck.Episodes > ck.Total {
+		return 0, fmt.Errorf("experiments: resume %s: recorded boundary %d outside [0, %d]", path, ck.Episodes, ck.Total)
+	}
+	if err := load(bytes.NewReader(ck.Agent)); err != nil {
+		return 0, fmt.Errorf("experiments: resume %s: %w", path, err)
+	}
+	return ck.Episodes, nil
+}
+
+// modelStoreKeyHash content-addresses a trained family model: the hash
+// covers everything the trained weights are a deterministic function of.
+func modelStoreKeyHash(content string) string {
+	sum := sha256.Sum256([]byte(content))
+	return fmt.Sprintf("%x", sum[:8])
+}

@@ -81,16 +81,25 @@ func NewMRSchUntrained(sc Scale, power bool) *core.MRSch {
 // TrainMRSch builds and curriculum-trains an MRSch agent for the scenario,
 // using the paper's best ordering (sampled -> real -> synthetic, §V-B).
 // Episodes are collected through the internal/rollout harness, with
-// Scale.RolloutWorkers simulator environments in parallel.
+// Scale.RolloutWorkers simulator environments in parallel. With
+// Scale.CheckpointDir set, the run writes a resumable checkpoint at every
+// round boundary and — with Scale.Resume — continues a previously
+// interrupted run bitwise identically (the returned results are then the
+// remaining tail of the episode stream).
 func TrainMRSch(m *Materials, scenario string, useCNN bool) (*core.MRSch, []core.EpisodeResult, error) {
 	sys := m.Scale.System()
 	agent := core.New(sys, m.Scale.mrschOptions(m.Scale.Seed+11, useCNN))
 	byKind := m.CurriculumSets(scenario)
 	order := Ordering{core.Sampled, core.Real, core.Synthetic}
+	sets := order.Sets(byKind)
+	cfg := m.Scale.rolloutConfig()
+	if err := m.Scale.wireCheckpoint(&cfg, trainKey("mrsch", scenario, useCNN, false), len(sets), agent.SaveState, agent.LoadState); err != nil {
+		return agent, nil, err
+	}
 	results, err := rollout.Train(rollout.NewMRSchLearner(agent, core.TrainConfig{
 		System:          sys,
 		StepsPerEpisode: m.Scale.StepsPerEpisode,
-	}), m.Scale.rolloutConfig(), order.Sets(byKind))
+	}), cfg, sets)
 	return agent, results, err
 }
 
@@ -139,10 +148,14 @@ func TrainMRSchPower(m *Materials, powerName string) (*core.MRSch, error) {
 	psys := m.Scale.PowerSystem()
 	agent := core.New(psys, m.Scale.mrschOptions(m.Scale.Seed+13, false))
 	sets := m.powerCurriculum(powerName)
+	cfg := m.Scale.rolloutConfig()
+	if err := m.Scale.wireCheckpoint(&cfg, trainKey("mrsch", powerName, false, true), len(sets), agent.SaveState, agent.LoadState); err != nil {
+		return agent, err
+	}
 	_, err := rollout.Train(rollout.NewMRSchLearner(agent, core.TrainConfig{
 		System:          psys,
 		StepsPerEpisode: m.Scale.StepsPerEpisode,
-	}), m.Scale.rolloutConfig(), sets)
+	}), cfg, sets)
 	return agent, err
 }
 
@@ -173,14 +186,22 @@ func (m *Materials) powerCurriculum(powerName string) []core.JobSet {
 	panic("experiments: unknown power workload " + powerName)
 }
 
+// scalarRLConfig is the single source of the campaign-architecture
+// scalar-RL configuration: training (TrainScalarRL) and model-store
+// reloading (loadScalarRLModel) must construct identical schedulers or
+// stored weights stop fitting.
+func (s Scale) scalarRLConfig() rl.Config {
+	cfg := rl.DefaultConfig()
+	cfg.Window = s.Window
+	cfg.Seed = s.Seed + 17
+	return cfg
+}
+
 // TrainScalarRL trains the fixed-weight policy-gradient baseline on the same
 // sampled sets as MRSch (episode count matched for fairness), through the
 // same rollout harness.
 func TrainScalarRL(m *Materials, scenario string, sys cluster.Config, powerAware bool) (*rl.Scheduler, error) {
-	cfg := rl.DefaultConfig()
-	cfg.Window = m.Scale.Window
-	cfg.Seed = m.Scale.Seed + 17
-	agent := rl.New(sys, cfg)
+	agent := rl.New(sys, m.Scale.scalarRLConfig())
 
 	var sets []core.JobSet
 	if powerAware {
@@ -190,9 +211,13 @@ func TrainScalarRL(m *Materials, scenario string, sys cluster.Config, powerAware
 		order := Ordering{core.Sampled, core.Real, core.Synthetic}
 		sets = order.Sets(byKind)
 	}
+	rcfg := m.Scale.rolloutConfig()
+	if err := m.Scale.wireCheckpoint(&rcfg, trainKey("scalar-rl", scenario, false, powerAware), len(sets), agent.SaveState, agent.LoadState); err != nil {
+		return nil, err
+	}
 	if _, err := rollout.Train(rollout.NewScalarRLLearner(agent, core.TrainConfig{
 		System: sys,
-	}), m.Scale.rolloutConfig(), sets); err != nil {
+	}), rcfg, sets); err != nil {
 		return nil, fmt.Errorf("experiments: scalar RL training: %w", err)
 	}
 	return agent, nil

@@ -43,6 +43,34 @@ type Scale struct {
 	// (Seed, RolloutWorkers) pair but differ from barrier-mode campaigns;
 	// see rollout's package doc, rules 6-8.
 	Pipelined bool
+	// CheckpointDir, when non-empty, makes every training campaign of the
+	// scale durable: the full agent state (weights, optimizer moments,
+	// replay rings, epsilon and rng cursors) is written atomically to a
+	// per-run file under the directory at every round boundary
+	// (rollout.Config.Checkpoint, rules 9-10 of the rollout package doc).
+	// Raised by the cmd binaries via -checkpoint.
+	CheckpointDir string
+	// CheckpointEvery throttles checkpoint writes to every Nth round
+	// boundary (0 or 1 = every round). The final boundary always writes,
+	// so a completed run's checkpoint is its final state; a crash between
+	// throttled writes just replays up to N rounds on resume. Raise it
+	// when serializing the replay buffer every round would rival the
+	// round's own training time.
+	CheckpointEvery int
+	// Resume makes training runs restart from their run's checkpoint file
+	// under CheckpointDir (each run writes one file, named by its training
+	// key) instead of episode zero. A resumed
+	// run is bitwise identical to an uninterrupted one for the same
+	// (Seed, RolloutWorkers, Pipelined) settings; a checkpoint written
+	// under different settings is rejected loudly rather than silently
+	// diverging. With no checkpoint file present the run starts fresh
+	// (first launch of a preemptable job). Raised via -resume.
+	Resume bool
+	// OnCheckpoint, when non-nil, observes checkpoint traffic: action is
+	// "save" after each round-boundary write and "resume" after a
+	// successful restore, episodes the cumulative episode count. Used by
+	// the cmd binaries for progress lines and by tests.
+	OnCheckpoint func(action string, episodes int)
 }
 
 // ScaleFromSpec materializes a runnable Scale from its serializable sizing;

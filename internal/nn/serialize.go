@@ -23,6 +23,7 @@ const weightsMagic = "mrsch-nn-weights-v1"
 
 // SaveWeights serializes the given parameters to w using encoding/gob.
 func SaveWeights(w io.Writer, params []*Param) error {
+	GobWarmup()
 	f := weightsFile{Magic: weightsMagic}
 	for _, p := range params {
 		f.Params = append(f.Params, savedParam{Name: p.Name, Values: Copy(p.Value)})

@@ -49,7 +49,10 @@ type Scheduler struct {
 	// Train enables stochastic action sampling and episode recording.
 	Train bool
 
-	rng     *rand.Rand
+	rng *rand.Rand
+	// rngSrc is rng's underlying source; its draw cursor is what
+	// SaveState/LoadState (state.go) persist to resume the stream exactly.
+	rngSrc  *nn.CursorSource
 	opt     *nn.Adam
 	episode []step
 }
@@ -76,7 +79,10 @@ func New(sys cluster.Config, cfg Config) *Scheduler {
 	if len(cfg.Weights) != r {
 		panic(fmt.Sprintf("rl: %d reward weights for %d resources", len(cfg.Weights), r))
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The agent rng rides a CursorSource so its position can be
+	// checkpointed; the draw streams are bit-identical to rand.NewSource.
+	src := nn.NewCursorSource(cfg.Seed)
+	rng := rand.New(src)
 	layers := []nn.Layer{}
 	in := enc.StateDim()
 	for _, h := range cfg.Hidden {
@@ -85,11 +91,12 @@ func New(sys cluster.Config, cfg Config) *Scheduler {
 	}
 	layers = append(layers, nn.NewDense(in, cfg.Window, nn.XavierInit, rng), nn.NewSoftmax())
 	return &Scheduler{
-		cfg: cfg,
-		enc: enc,
-		net: nn.NewSequential(enc.StateDim(), layers...),
-		rng: rng,
-		opt: nn.NewAdam(cfg.LR),
+		cfg:    cfg,
+		enc:    enc,
+		net:    nn.NewSequential(enc.StateDim(), layers...),
+		rng:    rng,
+		rngSrc: src,
+		opt:    nn.NewAdam(cfg.LR),
 	}
 }
 

@@ -1,0 +1,123 @@
+// Durable scheduler state, mirroring internal/dfp's split: Save/Load
+// persist the policy weights only (the model-file form campaign model
+// stores keep), while SaveState/LoadState persist everything REINFORCE
+// training needs to resume bit-for-bit — weights, published snapshot
+// buffers, Adam moments and step counter, the rng cursor, and any
+// in-flight episode record. LoadState validates the whole container before
+// mutating anything.
+package rl
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/nn"
+)
+
+const stateMagic = "mrsch-rl-state-v1"
+
+func init() {
+	// Fixed-order gob type-ID claim, keeping encoded bytes history-free
+	// (see nn.GobWarmup).
+	nn.RegisterGobContainer(func(enc *gob.Encoder) { enc.Encode(&schedulerState{}) })
+}
+
+// savedRLStep mirrors step (whose fields are unexported) for gob.
+type savedRLStep struct {
+	State  []float64
+	Action int
+	Valid  int
+	Reward float64
+}
+
+// schedulerState is the gob container written by SaveState.
+type schedulerState struct {
+	Magic string
+
+	StateDim int
+	Window   int
+	Seed     int64
+
+	Train     nn.TrainState
+	RngCursor uint64
+
+	Episode []savedRLStep
+}
+
+// Save writes the policy-network weights to w (the evaluation model file).
+func (s *Scheduler) Save(w io.Writer) error { return nn.SaveWeights(w, s.net.Params()) }
+
+// Load restores weights written by Save into an identically-configured
+// scheduler.
+func (s *Scheduler) Load(r io.Reader) error { return nn.LoadWeights(r, s.net.Params()) }
+
+// SaveState writes the scheduler's full training state to w. The scheduler
+// must be quiescent — no update or rollout in flight.
+func (s *Scheduler) SaveState(w io.Writer) error {
+	st := schedulerState{
+		Magic:     stateMagic,
+		StateDim:  s.enc.StateDim(),
+		Window:    s.cfg.Window,
+		Seed:      s.cfg.Seed,
+		Train:     nn.CaptureTrainState(s.net.Params(), s.opt),
+		RngCursor: s.rngSrc.Cursor(),
+	}
+	for _, rec := range s.episode {
+		st.Episode = append(st.Episode, savedRLStep{
+			State: rec.state, Action: rec.action, Valid: rec.valid, Reward: rec.reward,
+		})
+	}
+	if err := nn.EncodeChecksummed(w, &st); err != nil {
+		return fmt.Errorf("rl: save state: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores state previously written by SaveState into a
+// scheduler constructed with the same Config and system. Corrupt,
+// truncated, or mismatched input fails with a descriptive error and
+// applies nothing.
+func (s *Scheduler) LoadState(r io.Reader) error {
+	var st schedulerState
+	if err := nn.DecodeChecksummed(r, &st); err != nil {
+		return fmt.Errorf("rl: load state: %w", err)
+	}
+	if st.Magic != stateMagic {
+		return fmt.Errorf("rl: load state: bad magic %q (want %q; corrupt file or incompatible format version)", st.Magic, stateMagic)
+	}
+	if st.StateDim != s.enc.StateDim() || st.Window != s.cfg.Window {
+		return fmt.Errorf("rl: load state: architecture mismatch: state was saved for dim=%d window=%d, scheduler has dim=%d window=%d",
+			st.StateDim, st.Window, s.enc.StateDim(), s.cfg.Window)
+	}
+	if st.Seed != s.cfg.Seed {
+		return fmt.Errorf("rl: load state: seed mismatch: state was saved at seed %d, scheduler runs seed %d", st.Seed, s.cfg.Seed)
+	}
+	if st.RngCursor > nn.MaxRngCursor {
+		return fmt.Errorf("rl: load state: rng cursor %d exceeds the plausible maximum %d (corrupt or hand-crafted state; replaying it would hang the loader)", st.RngCursor, uint64(nn.MaxRngCursor))
+	}
+	if err := st.Train.Check(s.net.Params()); err != nil {
+		return fmt.Errorf("rl: load state: %w", err)
+	}
+	for i := range st.Episode {
+		rec := &st.Episode[i]
+		if len(rec.State) != s.enc.StateDim() {
+			return fmt.Errorf("rl: load state: episode step %d state length %d, want %d", i, len(rec.State), s.enc.StateDim())
+		}
+		if rec.Action < 0 || rec.Action >= s.cfg.Window || rec.Valid <= 0 || rec.Valid > s.cfg.Window {
+			return fmt.Errorf("rl: load state: episode step %d action %d / valid %d out of range for window %d", i, rec.Action, rec.Valid, s.cfg.Window)
+		}
+	}
+
+	if err := st.Train.Apply(s.net.Params(), s.opt); err != nil {
+		return fmt.Errorf("rl: load state: %w", err) // unreachable: checked above
+	}
+	s.rngSrc.SeekTo(st.RngCursor)
+	s.episode = nil
+	for _, rec := range st.Episode {
+		s.episode = append(s.episode, step{
+			state: rec.State, action: rec.Action, valid: rec.Valid, reward: rec.Reward,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package rl
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+func rlStateBytes(t *testing.T, s *Scheduler) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func rlWeightBytes(t *testing.T, s *Scheduler) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// trainEpisodes runs n deterministic training episodes through the
+// simulator (stochastic sampling draws from the scheduler rng).
+func trainEpisodes(t *testing.T, s *Scheduler, n int, seed int64) {
+	t.Helper()
+	s.Train = true
+	rng := rand.New(rand.NewSource(seed))
+	for ep := 0; ep < n; ep++ {
+		var jobs []*job.Job
+		clk := 0.0
+		for i := 1; i <= 25; i++ {
+			clk += float64(rng.Intn(50))
+			jobs = append(jobs, mk(ep*100+i, clk, float64(rng.Intn(400)+10), rng.Intn(16)+1, rng.Intn(9)))
+		}
+		simu := sim.New(sys(), s.Policy())
+		if err := simu.Load(jobs); err != nil {
+			t.Fatal(err)
+		}
+		if err := simu.Run(); err != nil {
+			t.Fatal(err)
+		}
+		s.EndEpisode()
+	}
+}
+
+// SaveState -> LoadState must reproduce REINFORCE training bit-for-bit:
+// identical re-serialization and an identical continuation.
+func TestSchedulerStateRoundTrip(t *testing.T) {
+	a := New(sys(), tinyConfig(3))
+	trainEpisodes(t, a, 3, 11)
+	saved := rlStateBytes(t, a)
+
+	b := New(sys(), tinyConfig(3))
+	if err := b.LoadState(bytes.NewReader(saved)); err != nil {
+		t.Fatal(err)
+	}
+	if got := rlStateBytes(t, b); !bytes.Equal(got, saved) {
+		t.Fatal("re-serialized state differs from the loaded bytes")
+	}
+	trainEpisodes(t, a, 2, 12)
+	trainEpisodes(t, b, 2, 12)
+	if !bytes.Equal(rlWeightBytes(t, a), rlWeightBytes(t, b)) {
+		t.Fatal("weights diverged after resumed training")
+	}
+}
+
+// Corrupt and mismatched input fails loudly with nothing applied.
+func TestSchedulerLoadStateRejects(t *testing.T) {
+	a := New(sys(), tinyConfig(3))
+	trainEpisodes(t, a, 2, 11)
+	saved := rlStateBytes(t, a)
+
+	b := New(sys(), tinyConfig(3))
+	before := rlStateBytes(t, b)
+	for off := 0; off < len(saved); off += len(saved)/53 + 1 {
+		mutated := append([]byte(nil), saved...)
+		mutated[off] ^= 0x10
+		if err := b.LoadState(bytes.NewReader(mutated)); err == nil {
+			t.Fatalf("bitflip at %d accepted", off)
+		}
+	}
+	if err := b.LoadState(bytes.NewReader(saved[:len(saved)/2])); err == nil {
+		t.Fatal("truncated state accepted")
+	}
+	if after := rlStateBytes(t, b); !bytes.Equal(before, after) {
+		t.Fatal("failed loads mutated the scheduler")
+	}
+
+	c := New(sys(), tinyConfig(4)) // different seed
+	if err := c.LoadState(bytes.NewReader(saved)); err == nil || !strings.Contains(err.Error(), "seed mismatch") {
+		t.Fatalf("want seed mismatch, got %v", err)
+	}
+	wide := tinyConfig(3)
+	wide.Window = 6
+	d := New(sys(), wide)
+	if err := d.LoadState(bytes.NewReader(saved)); err == nil || !strings.Contains(err.Error(), "architecture mismatch") {
+		t.Fatalf("want architecture mismatch, got %v", err)
+	}
+}

@@ -61,6 +61,32 @@
 //     the published snapshot, so read-only evaluation of the learner (the
 //     §IV-A validation protocol) remains race-free.
 //
+//  9. Checkpoints happen at round boundaries only, with the learner
+//     quiescent: every transcript of rounds [0, k) reduced, no rollout in
+//     flight, and (pipelined) the in-flight collection joined but the
+//     round's weights not yet published. Config.Checkpoint runs exactly
+//     there; a checkpoint therefore captures a pure function of
+//     (seed, workers, pipelined) — the same state every run with those
+//     settings passes through. Resuming from it (Config.Resume = episodes
+//     done, learner state restored via the agent's LoadState) continues
+//     that same trajectory: kill-at-round-k + resume is bitwise identical
+//     to the uninterrupted run — the same EpisodeResult stream (the resumed
+//     run returns the tail) and the same final weights. Resume must match
+//     the checkpoint's (Seed, Workers, Pipelined) and job sets; Train
+//     rejects offsets that do not land on a round boundary, and mode or
+//     worker-count changes across a resume are undefined (callers persist
+//     and verify them alongside the state — see experiments' manifest).
+//
+//  10. A pipelined checkpoint captures TWO weight buffers: the live
+//     weights (end of round k's reduction) and the published snapshot (end
+//     of round k-1's), because the interrupted run had already collected
+//     round k+1 against the latter. Resume restores both, re-collects
+//     round k+1 against the restored snapshot, then publishes the live
+//     weights — re-entering the steady-state pipeline exactly where the
+//     interrupted run left it. This is why the checkpoint hook runs before
+//     the boundary's Publish, and why resumed pipelined runs skip the
+//     initial publish.
+//
 // The serial paths retained elsewhere (core.TrainCurriculum and the
 // training-mode Act of dfp.Agent/rl.Scheduler) draw exploration and replay
 // sampling from one shared agent rng; the harness instead gives each episode

@@ -88,8 +88,22 @@ func trainPipelined(l Learner, cfg Config, sets []core.JobSet) ([]core.EpisodeRe
 		}
 		actors[i] = a
 	}
-	// Materialize + publish the initial snapshot before any rollout.
-	sl.Publish()
+	if err := cfg.validateResume(w, n); err != nil {
+		return nil, err
+	}
+	if cfg.Resume >= n {
+		return nil, nil // everything already reduced before the crash
+	}
+	if cfg.Resume == 0 {
+		// Materialize + publish the initial snapshot before any rollout.
+		sl.Publish()
+	}
+	// On resume the snapshot buffers were restored from the checkpoint and
+	// already hold the weights the first re-collected round must act on —
+	// the version published one round before the checkpoint (rule 10), NOT
+	// the live weights. Publishing here would overwrite them; the live
+	// weights publish after the priming collection below, exactly where the
+	// interrupted run published them.
 
 	newRound := func() *pipeRound {
 		return &pipeRound{trs: make([]Transcript, w), errs: make([]error, w)}
@@ -102,9 +116,16 @@ func trainPipelined(l Learner, cfg Config, sets []core.JobSet) ([]core.EpisodeRe
 	}
 
 	cur, nxt := newRound(), newRound()
-	collect(cur, 0, min(w, n)) // prime the pipeline: nothing to overlap yet
+	collect(cur, cfg.Resume, min(w, n-cfg.Resume)) // prime the pipeline: nothing to overlap yet
+	if cfg.Resume > 0 {
+		// The interrupted run published its post-reduction weights right
+		// after the checkpoint was written, i.e. after this round's
+		// collection had joined; re-publish them now that the priming
+		// collection (which read the restored pre-crash snapshot) is done.
+		sl.Publish()
+	}
 
-	results := make([]core.EpisodeResult, 0, n)
+	results := make([]core.EpisodeResult, 0, n-cfg.Resume)
 	for {
 		// Launch the next round against the current snapshot before
 		// reducing this one — the overlap that is the point of the mode.
@@ -126,13 +147,17 @@ func trainPipelined(l Learner, cfg Config, sets []core.JobSet) ([]core.EpisodeRe
 		}
 
 		// Round boundary: join the in-flight collection even on error (no
-		// goroutine may outlive the call), then publish the post-reduction
-		// weights for the round after next.
+		// goroutine may outlive the call), checkpoint while the live weights
+		// and the still-unpublished snapshot are both quiescent, then
+		// publish the post-reduction weights for the round after next.
 		if done != nil {
 			<-done
 		}
 		if loopErr != nil {
 			return results, loopErr
+		}
+		if err := runCheckpoint(cfg, cur.start+cur.cnt); err != nil {
+			return results, err
 		}
 		if done == nil {
 			return results, nil

@@ -37,6 +37,24 @@ type Config struct {
 	// the only concurrent rollouts read the published snapshot, never the
 	// live weights, so read-only evaluation of the learner remains safe.
 	AfterEpisode func(episode int, r core.EpisodeResult) error
+	// Checkpoint, when non-nil, runs at every round boundary with the
+	// number of episodes fully reduced into the learner so far (including
+	// the final boundary, where done == len(sets)). The learner is
+	// quiescent during the call: no rollout is in flight, the round's
+	// transcripts are reduced, and — in pipelined mode — the hook runs
+	// after the in-flight collection joins and BEFORE the round's weights
+	// publish, so the live weights and the published snapshot are exactly
+	// the pair a resumed run must restore (rules 9-10 of the package doc).
+	// Returning an error aborts the run.
+	Checkpoint func(done int) error
+	// Resume skips episodes [0, Resume): their effects must already be in
+	// the learner, restored from a checkpoint written by a run with the
+	// same (Seed, Workers, Pipelined) over the same job sets. Train
+	// validates that Resume lands on a round boundary (a multiple of the
+	// effective round width) and errors otherwise — resuming mid-round
+	// would re-collect part of a round against post-round weights and
+	// silently break bitwise equivalence.
+	Resume int
 }
 
 // ResolveWorkers applies the package-wide worker-count default: n <= 0
@@ -130,11 +148,14 @@ func trainBarrier(l Learner, cfg Config, sets []core.JobSet) ([]core.EpisodeResu
 		}
 	}
 	w = len(actors)
+	if err := cfg.validateResume(w, n); err != nil {
+		return nil, err
+	}
 
-	results := make([]core.EpisodeResult, 0, n)
+	results := make([]core.EpisodeResult, 0, n-cfg.Resume)
 	trs := make([]Transcript, w)
 	errs := make([]error, w)
-	for start := 0; start < n; start += w {
+	for start := cfg.Resume; start < n; start += w {
 		cnt := w
 		if start+cnt > n {
 			cnt = n - start
@@ -148,8 +169,38 @@ func trainBarrier(l Learner, cfg Config, sets []core.JobSet) ([]core.EpisodeResu
 				return results, err
 			}
 		}
+		if err := runCheckpoint(cfg, start+cnt); err != nil {
+			return results, err
+		}
 	}
 	return results, nil
+}
+
+// validateResume rejects a Resume offset that does not land on a round
+// boundary of the effective round width w over n episodes.
+func (c Config) validateResume(w, n int) error {
+	if c.Resume == 0 {
+		return nil
+	}
+	if c.Resume < 0 || c.Resume > n {
+		return fmt.Errorf("rollout: Resume %d outside [0, %d]", c.Resume, n)
+	}
+	if c.Resume%w != 0 && c.Resume != n {
+		return fmt.Errorf("rollout: Resume %d is not a round boundary (round width %d): checkpoints are written at round boundaries only, so the checkpoint and this run disagree on Workers", c.Resume, w)
+	}
+	return nil
+}
+
+// runCheckpoint invokes the round-boundary checkpoint hook, wrapping its
+// error with the boundary position.
+func runCheckpoint(cfg Config, done int) error {
+	if cfg.Checkpoint == nil {
+		return nil
+	}
+	if err := cfg.Checkpoint(done); err != nil {
+		return fmt.Errorf("rollout: checkpoint at episode %d: %w", done, err)
+	}
+	return nil
 }
 
 // reduceEpisode folds one collected episode into the learner: surface the

@@ -1,0 +1,47 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzLoad drives arbitrary bytes through the campaign-spec loader.
+// Invariants: Load never panics, and a spec it accepts is valid and
+// survives a Dump -> Load round trip unchanged (the golden-file property
+// CI relies on). The seeded corpus includes the two committed spec files.
+func FuzzLoad(f *testing.F) {
+	for _, name := range []string{"paper-campaign.json", "theta-smoke.json"} {
+		if data, err := os.ReadFile(filepath.Join("..", "..", "specs", name)); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","scale":{"name":"s","div":1,"trace_duration":1,"mean_interarrival":1,"window":1,"sets_per_kind":1,"set_size":1,"eps_decay":0.9},"scenarios":[{"name":"a","bb_prob":0,"min_tb":0,"max_tb":0}],"methods":[{"kind":"fcfs"}]}`))
+	f.Add([]byte(`{"name":"x","unknown_axis":true}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("Load accepted an invalid spec: %v", verr)
+		}
+		var dump bytes.Buffer
+		if err := spec.Dump(&dump); err != nil {
+			t.Fatalf("accepted spec fails to Dump: %v", err)
+		}
+		again, err := Load(bytes.NewReader(dump.Bytes()))
+		if err != nil {
+			t.Fatalf("Dump output fails to re-Load: %v", err)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Fatal("Dump -> Load round trip changed the spec")
+		}
+	})
+}
