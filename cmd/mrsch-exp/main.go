@@ -8,8 +8,13 @@
 // Usage:
 //
 //	mrsch-exp [-scale quick|standard|tiny] [-fig all|1|3|4|5|6|7|8|9|10|sweep] [-parallel 4] [-pipeline]
-//	mrsch-exp -campaign spec.json [-parallel 4] [-pipeline] [-checkpoint dir [-resume]]
+//	mrsch-exp -campaign spec.json [-parallel 4] [-pipeline] [-checkpoint dir [-resume]] [-report file]
 //	mrsch-exp -campaign paper|theta-variants [-scale quick]
+//	mrsch-exp -campaign spec.json -dry-run
+//	mrsch-exp -campaign spec.json -workers 4 [-fault-plan faults.json]
+//	mrsch-exp -campaign spec.json -workers 4 -listen :7077
+//	mrsch-exp -worker [-connect host:7077]
+//	mrsch-exp -prune -checkpoint dir [-dry-run]
 //	mrsch-exp -dump-campaign paper|theta-variants [-scale quick]
 //	mrsch-exp -list
 //
@@ -44,15 +49,46 @@
 // family training writes round-granular checkpoints there, so -resume
 // continues a preempted training run bitwise identically instead of
 // restarting it.
+//
+// -workers N runs the campaign through the fault-tolerant distributed
+// coordinator (internal/distrib) over N worker processes instead of
+// in-process goroutines. By default the workers are re-invocations of this
+// binary with -worker, speaking the frame protocol over stdio; with
+// -listen ADDR the coordinator instead waits for N workers to dial in over
+// TCP (start them with -worker -connect HOST:PORT; they must share the
+// coordinator's filesystem so the model store resolves). Family models are
+// trained exactly once by the coordinator before distribution; the collated
+// table is byte-identical to the in-process run.
+//
+// -fault-plan FILE (with -workers) injects deterministic worker sabotage
+// from a JSON map of worker id to fault plan (see distrib.FaultPlan) —
+// the robustness smoke CI runs.
+//
+// -dry-run with -campaign validates and prints the expanded grid without
+// evaluating it; with -prune it lists prunable entries without deleting.
+//
+// -report FILE additionally writes the campaign table (exactly as printed,
+// without the surrounding timing lines) to FILE, so two runs can be
+// compared byte-for-byte.
+//
+// -prune garbage-collects the -checkpoint model store: entries whose
+// content-addressed name no builtin campaign (at any builtin scale, either
+// training mode, the trained-method axis included) can produce are
+// deleted. Stores holding models from custom spec files or -seed overrides
+// should -dry-run first: those keys are outside the builtin envelope.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/distrib"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 )
@@ -68,8 +104,20 @@ func main() {
 	resume := flag.Bool("resume", false, "campaign mode: resume preempted family training from -checkpoint")
 	dumpFlag := flag.String("dump-campaign", "", "write a builtin campaign spec (paper, theta-variants) as JSON to stdout and exit")
 	listFlag := flag.Bool("list", false, "list builtin scenarios, methods, theta-variant axes, and campaigns, then exit")
+	workerFlag := flag.Bool("worker", false, "run as a distributed campaign worker (protocol on stdio, or TCP with -connect)")
+	connectFlag := flag.String("connect", "", "worker mode: dial the coordinator at host:port instead of using stdio")
+	distWorkers := flag.Int("workers", 0, "campaign mode: distribute cells over N worker processes (0 = in-process)")
+	listenFlag := flag.String("listen", "", "campaign mode: accept -workers N TCP workers at this address instead of spawning them")
+	faultFlag := flag.String("fault-plan", "", "campaign mode with -workers: JSON file mapping worker id to an injected fault plan")
+	dryRun := flag.Bool("dry-run", false, "with -campaign: validate and print the grid without running; with -prune: list without deleting")
+	reportFlag := flag.String("report", "", "campaign mode: also write the campaign table to this file (byte-comparable across runs)")
+	pruneFlag := flag.Bool("prune", false, "garbage-collect the -checkpoint model store against the builtin-campaign keep-set")
 	flag.Parse()
 
+	if *workerFlag {
+		runWorker(*connectFlag)
+		return
+	}
 	if *listFlag {
 		printRegistry()
 		return
@@ -108,24 +156,111 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mrsch-exp: -resume requires -checkpoint DIR (there is nothing to resume from)")
 		os.Exit(2)
 	}
+	if *pruneFlag {
+		if *checkpoint == "" {
+			fmt.Fprintln(os.Stderr, "mrsch-exp: -prune requires -checkpoint DIR (the model store to collect)")
+			os.Exit(2)
+		}
+		runPrune(*checkpoint, *parallel, *dryRun)
+		return
+	}
+	if *distWorkers < 0 {
+		fmt.Fprintf(os.Stderr, "mrsch-exp: -workers must be >= 0, got %d\n", *distWorkers)
+		os.Exit(2)
+	}
+	if (*listenFlag != "" || *faultFlag != "") && *distWorkers == 0 {
+		fmt.Fprintln(os.Stderr, "mrsch-exp: -listen and -fault-plan apply to distributed campaigns; set -workers N")
+		os.Exit(2)
+	}
 	if *campaignFlag != "" {
 		set := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		runCampaign(*campaignFlag, scaleSpec, *parallel, *pipeline, *checkpoint, *resume, set["scale"], set["seed"], *seed)
+		runCampaign(*campaignFlag, scaleSpec, *parallel, *pipeline, *checkpoint, *resume, set["scale"], set["seed"], *seed, distConfig{
+			workers:   *distWorkers,
+			listen:    *listenFlag,
+			faultPlan: *faultFlag,
+			dryRun:    *dryRun,
+			report:    *reportFlag,
+		})
 		return
 	}
 	if *checkpoint != "" {
 		fmt.Fprintln(os.Stderr, "mrsch-exp: -checkpoint applies to campaign mode only; run it with -campaign (figure-mode training is not checkpointed)")
 		os.Exit(2)
 	}
+	if *distWorkers > 0 || *dryRun || *reportFlag != "" {
+		fmt.Fprintln(os.Stderr, "mrsch-exp: -workers, -dry-run, and -report apply to campaign mode; run them with -campaign")
+		os.Exit(2)
+	}
 
 	runFigures(scaleSpec, *figFlag, *parallel, *pipeline)
+}
+
+// runWorker is the -worker entry point: serve the distributed campaign
+// protocol on stdio (the ProcPool arrangement) or over TCP with -connect.
+// Stdout is the protocol channel, so all logging goes to stderr.
+func runWorker(connect string) {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "mrsch-exp: "+format+"\n", args...)
+	}
+	var conn io.ReadWriteCloser
+	if connect != "" {
+		c, err := net.Dial("tcp", connect)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrsch-exp: worker: %v\n", err)
+			os.Exit(1)
+		}
+		conn = c
+	} else {
+		conn = stdioConn{}
+	}
+	if err := distrib.ServeWorker(conn, distrib.WorkerOptions{Logf: logf}); err != nil {
+		fmt.Fprintf(os.Stderr, "mrsch-exp: worker: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// stdioConn adapts the process's stdin/stdout to the connection interface
+// ServeWorker wants.
+type stdioConn struct{}
+
+func (stdioConn) Read(p []byte) (int, error)  { return os.Stdin.Read(p) }
+func (stdioConn) Write(p []byte) (int, error) { return os.Stdout.Write(p) }
+func (stdioConn) Close() error {
+	os.Stdin.Close()
+	return os.Stdout.Close()
+}
+
+// runPrune garbage-collects the model store (-prune).
+func runPrune(dir string, workers int, dryRun bool) {
+	kept, pruned, err := experiments.PruneModelStore(dir, workers, dryRun)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrsch-exp: %v\n", err)
+		os.Exit(1)
+	}
+	verb := "pruned"
+	if dryRun {
+		verb = "would prune"
+	}
+	for _, name := range pruned {
+		fmt.Printf("%s %s\n", verb, name)
+	}
+	fmt.Printf("model store %s: %d entr(ies) kept, %d %s\n", dir, len(kept), len(pruned), verb)
+}
+
+// distConfig carries the distributed-campaign flags into runCampaign.
+type distConfig struct {
+	workers   int    // worker processes (0 = run in-process)
+	listen    string // accept TCP workers here instead of spawning
+	faultPlan string // JSON fault-injection file
+	dryRun    bool   // validate and print the grid, don't run
+	report    string // also write the campaign table to this file
 }
 
 // runCampaign resolves a builtin name or spec file and runs it. A spec
 // file carries its own scale, so an explicit -scale is rejected rather
 // than silently ignored; an explicit -seed overrides the file's seed.
-func runCampaign(ref string, scaleSpec scenario.ScaleSpec, parallel int, pipeline bool, checkpoint string, resume bool, scaleSet, seedSet bool, seed int64) {
+func runCampaign(ref string, scaleSpec scenario.ScaleSpec, parallel int, pipeline bool, checkpoint string, resume bool, scaleSet, seedSet bool, seed int64, dist distConfig) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "mrsch-exp: %v\n", err)
 		os.Exit(1)
@@ -148,6 +283,12 @@ func runCampaign(ref string, scaleSpec scenario.ScaleSpec, parallel int, pipelin
 			spec.Scale.Seed = seed
 		}
 	}
+	if dist.dryRun {
+		if err := dryRunCampaign(os.Stdout, spec); err != nil {
+			fail(err)
+		}
+		return
+	}
 	fmt.Printf("MRSch campaign %s — scale=%s (Theta/%d, seed %d), %d scenarios x %d methods\n\n",
 		spec.Name, spec.Scale.Name, spec.Scale.Div, spec.Scale.Seed, len(spec.Scenarios), len(spec.Methods))
 	start := time.Now()
@@ -168,16 +309,95 @@ func runCampaign(ref string, scaleSpec scenario.ScaleSpec, parallel int, pipelin
 			}
 		}
 	}
-	results, err := experiments.RunCampaign(spec, opt)
+	var results []experiments.CellResult
+	if dist.workers > 0 {
+		results, err = runDistributed(spec, opt, dist)
+	} else {
+		results, err = experiments.RunCampaign(spec, opt)
+	}
 	// Cell failures don't abort the rest of the grid: print whatever
 	// completed before reporting the failures.
 	if len(results) > 0 {
-		experiments.FprintCells(os.Stdout, spec.Name, results)
+		if rerr := renderResults(spec.Name, results, dist.report); rerr != nil {
+			fail(rerr)
+		}
 	}
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("\ncampaign finished in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runDistributed runs the campaign through the internal/distrib coordinator
+// over worker processes (spawned, or dialing in over TCP with -listen).
+func runDistributed(spec scenario.CampaignSpec, opt experiments.CampaignOptions, dist distConfig) ([]experiments.CellResult, error) {
+	var faults distrib.Faults
+	if dist.faultPlan != "" {
+		f, err := os.Open(dist.faultPlan)
+		if err != nil {
+			return nil, fmt.Errorf("-fault-plan: %w", err)
+		}
+		faults, err = distrib.LoadFaults(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	var pool distrib.Pool
+	if dist.listen != "" {
+		lp, err := distrib.NewListenPool(dist.listen, dist.workers)
+		if err != nil {
+			return nil, err
+		}
+		defer lp.Close()
+		fmt.Fprintf(os.Stderr, "mrsch-exp: waiting for %d worker(s) on %s (start them with -worker -connect)\n",
+			dist.workers, lp.Addr())
+		pool = lp
+	} else {
+		pool = &distrib.ProcPool{Args: []string{"-worker"}, N: dist.workers}
+	}
+	dopt := distrib.Options{
+		Seed:   spec.Scale.Seed,
+		Faults: faults,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "mrsch-exp: "+format+"\n", args...)
+		},
+	}
+	return distrib.Run(spec, opt, dopt, pool)
+}
+
+// dryRunCampaign validates the spec and prints its expanded grid without
+// evaluating anything.
+func dryRunCampaign(w io.Writer, spec scenario.CampaignSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		return err
+	}
+	cells := spec.Expand()
+	fmt.Fprintf(w, "campaign %s: %d cells, fingerprint %s\n", spec.Name, len(cells), fp)
+	for _, c := range cells {
+		fmt.Fprintf(w, "  %4d  %s\n", c.Index, c.Label())
+	}
+	return nil
+}
+
+// renderResults prints the campaign table and, with -report, writes the
+// identical bytes to a file for byte-for-byte comparison across runs.
+func renderResults(name string, results []experiments.CellResult, report string) error {
+	var buf bytes.Buffer
+	experiments.FprintCells(&buf, name, results)
+	if _, err := os.Stdout.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	if report != "" {
+		if err := os.WriteFile(report, buf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("-report: %w", err)
+		}
+	}
+	return nil
 }
 
 // printRegistry renders the builtin spec registry (-list).

@@ -29,8 +29,12 @@
 // fresh, so a preemptable job can always launch with both flags.
 // -checkpoint-every N throttles writes to every Nth round boundary (the
 // final boundary always writes) when serializing the replay buffer every
-// round would rival the round's training time. -validate does not compose with -checkpoint (the
-// model-selection state is not checkpointed) and is rejected.
+// round would rival the round's training time. -validate composes with
+// -checkpoint: the §IV-A model-selection state (best validation score and
+// the weight snapshot that scored it) is checkpointed alongside the agent
+// state, so a resumed validated run keeps a best model found before the
+// interruption; validated and plain checkpoints use distinct keys and
+// never resume each other's files.
 package main
 
 import (
@@ -76,11 +80,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mrsch-train: -checkpoint-every must be >= 1, got %d\n", *checkpointEvery)
 		os.Exit(2)
 	}
-	if *validate && *checkpoint != "" {
-		fmt.Fprintln(os.Stderr, "mrsch-train: -validate does not compose with -checkpoint: the §IV-A model-selection state (best weights seen so far) is not part of the checkpoint, so a resumed run would silently lose it; train without -validate or without -checkpoint")
-		os.Exit(2)
-	}
-
 	var sc experiments.Scale
 	switch *scaleFlag {
 	case "quick":

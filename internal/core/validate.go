@@ -2,10 +2,13 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"fmt"
+	"io"
 
 	"repro/internal/cluster"
 	"repro/internal/job"
+	"repro/internal/nn"
 	"repro/internal/sim"
 )
 
@@ -112,6 +115,46 @@ func (s *Selection) AfterEpisode(i int, _ EpisodeResult) error {
 		}
 		s.bestWeights = buf.Bytes()
 	}
+	return nil
+}
+
+// selectionMagic versions the serialized model-selection state.
+const selectionMagic = "mrsch-selection-v1"
+
+func init() {
+	// Fixed-order gob type-ID claim, keeping encoded bytes history-free
+	// (see nn.GobWarmup).
+	nn.RegisterGobContainer(func(enc *gob.Encoder) { enc.Encode(&selectionState{}) })
+}
+
+// selectionState is the serializable §IV-A protocol state: the best
+// validation metrics seen so far and the weight snapshot that scored them.
+type selectionState struct {
+	Magic       string
+	Best        ValidationMetrics
+	BestWeights []byte
+}
+
+// SaveState persists the protocol's progress so a checkpointed validated
+// training run can resume without silently losing the best weights seen
+// before the interruption (experiments wires it into the train checkpoint).
+func (s *Selection) SaveState(w io.Writer) error {
+	st := selectionState{Magic: selectionMagic, Best: s.best, BestWeights: s.bestWeights}
+	return nn.EncodeChecksummed(w, &st)
+}
+
+// LoadState restores protocol state written by SaveState. Nothing is
+// mutated on error.
+func (s *Selection) LoadState(r io.Reader) error {
+	var st selectionState
+	if err := nn.DecodeChecksummed(r, &st); err != nil {
+		return fmt.Errorf("core: selection state: %w", err)
+	}
+	if st.Magic != selectionMagic {
+		return fmt.Errorf("core: selection state: bad magic %q (want %q; corrupt file or incompatible format version)", st.Magic, selectionMagic)
+	}
+	s.best = st.Best
+	s.bestWeights = st.BestWeights
 	return nil
 }
 

@@ -1,0 +1,187 @@
+package distrib
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/metrics"
+)
+
+// The wire format. Every message travels in one length-prefixed frame:
+//
+//	uint32 payload length (big endian)
+//	uint32 CRC-32 (IEEE) of the payload
+//	payload: one gob-encoded message value
+//
+// Frames are self-delimiting and independently decodable — each payload is
+// its own gob stream — so a single damaged frame is detectable (CRC or gob
+// failure) without desynchronizing a healthy stream, and a truncated frame
+// surfaces as an unexpected EOF. Either way the receiver treats the peer as
+// corrupt (contract rule 5): there is no in-band resynchronization, the
+// connection is abandoned and the peer's in-flight work requeued.
+
+// ProtocolVersion gates the handshake: a worker and coordinator built from
+// different protocol revisions refuse to pair instead of mis-decoding each
+// other's frames.
+const ProtocolVersion = 1
+
+// maxFrameBytes bounds a frame's declared payload length. A corrupt length
+// prefix must not make the receiver allocate gigabytes before the CRC gets a
+// chance to reject the payload.
+const maxFrameBytes = 64 << 20
+
+// ErrCorruptFrame marks a frame whose length, checksum, or encoding is
+// damaged. The coordinator maps it to worker death (rule 5).
+var ErrCorruptFrame = errors.New("distrib: corrupt frame")
+
+type msgType uint8
+
+const (
+	// msgHello (worker → coordinator) opens the handshake.
+	msgHello msgType = iota + 1
+	// msgConfig (coordinator → worker) carries the campaign and the
+	// worker's runtime settings; sent exactly once, before any assignment.
+	msgConfig
+	// msgAssign (coordinator → worker) assigns one grid cell.
+	msgAssign
+	// msgResult (worker → coordinator) returns one evaluated cell.
+	msgResult
+	// msgHeartbeat (worker → coordinator) proves liveness between results.
+	msgHeartbeat
+	// msgFatal (worker → coordinator) reports an unrecoverable worker-side
+	// setup error (e.g. the campaign spec failed to load) before death.
+	msgFatal
+	// msgShutdown (coordinator → worker) ends a drained worker cleanly.
+	msgShutdown
+)
+
+func (t msgType) String() string {
+	switch t {
+	case msgHello:
+		return "hello"
+	case msgConfig:
+		return "config"
+	case msgAssign:
+		return "assign"
+	case msgResult:
+		return "result"
+	case msgHeartbeat:
+		return "heartbeat"
+	case msgFatal:
+		return "fatal"
+	case msgShutdown:
+		return "shutdown"
+	}
+	return fmt.Sprintf("msgType(%d)", uint8(t))
+}
+
+// message is the single payload type of every frame; which fields are
+// meaningful depends on Type. One struct keeps the protocol boring: no
+// per-type decoders, no partial decodes.
+type message struct {
+	Type msgType
+
+	// Hello: protocol version of the worker binary.
+	Proto int
+
+	// Config: the campaign spec in canonical Dump JSON, its fingerprint,
+	// the model-store directory, the worker's id and fault plan, the
+	// coordinator's resolved rollout worker count and training mode (the
+	// model-store key depends on them), and the heartbeat cadence.
+	Spec            []byte
+	Fingerprint     string
+	ModelDir        string
+	Worker          int
+	Plan            FaultPlan
+	Workers         int
+	Pipelined       bool
+	HeartbeatMillis int64
+
+	// Assign and Result: the cell's expansion index. Results echo the
+	// config fingerprint so a coordinator never collates a result computed
+	// against a different grid.
+	Cell int
+	// Result: exactly one of Report (success) or CellErr (a deterministic
+	// evaluation failure — terminal, never retried; rule 3).
+	Report  metrics.Report
+	CellErr string
+
+	// Fatal: the worker-side setup error.
+	Err string
+}
+
+// writeFrame encodes m and writes it as one frame. Writers serialize frames
+// themselves (the worker interleaves results and heartbeats from two
+// goroutines behind a mutex).
+func writeFrame(w io.Writer, m *message) error {
+	payload, err := encodeMessage(m)
+	if err != nil {
+		return err
+	}
+	return writeRawFrame(w, payload, len(payload), crc32.ChecksumIEEE(payload))
+}
+
+// encodeMessage gob-encodes one message as an independent stream.
+func encodeMessage(m *message) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("distrib: encoding %s frame: %w", m.Type, err)
+	}
+	if buf.Len() > maxFrameBytes {
+		return nil, fmt.Errorf("distrib: %s frame of %d bytes exceeds the %d-byte frame bound", m.Type, buf.Len(), maxFrameBytes)
+	}
+	return buf.Bytes(), nil
+}
+
+// writeRawFrame writes a frame from pre-encoded payload bytes, with the
+// length and checksum the header claims. The fault harness calls it with a
+// deliberately wrong combination (flipped payload byte, over-long declared
+// length) to manufacture the corrupt and truncated frames of rule 5; every
+// healthy path goes through writeFrame.
+func writeRawFrame(w io.Writer, payload []byte, declaredLen int, sum uint32) error {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(declaredLen))
+	binary.BigEndian.PutUint32(hdr[4:8], sum)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("distrib: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("distrib: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads and decodes one frame. io.EOF passes through untouched so
+// callers can distinguish a clean close from damage; any length, checksum,
+// or decode problem wraps ErrCorruptFrame.
+func readFrame(r io.Reader) (*message, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("distrib: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	sum := binary.BigEndian.Uint32(hdr[4:8])
+	if n > maxFrameBytes {
+		return nil, fmt.Errorf("%w: declared payload of %d bytes exceeds the %d-byte bound", ErrCorruptFrame, n, maxFrameBytes)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload (%d bytes declared): %v", ErrCorruptFrame, n, err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch (header %08x, payload %08x)", ErrCorruptFrame, sum, got)
+	}
+	var m message
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("%w: decoding payload: %v", ErrCorruptFrame, err)
+	}
+	return &m, nil
+}

@@ -62,12 +62,20 @@ type CampaignOptions struct {
 	// path). path names the file involved ("" for in-process training
 	// with no store).
 	OnModel func(family, action, path string)
+	// NoTrain forbids in-process training: every trained family model must
+	// resolve from the ModelDir store or an explicit MethodSpec.Model file.
+	// Distributed workers (internal/distrib) run with NoTrain set — the
+	// coordinator resolves every family model exactly once before cells fan
+	// out, so a cell retried on another worker can never retrain a model.
+	NoTrain bool
 }
 
-// campaignRun holds the resolved state shared by a campaign's cells. All
-// maps are populated serially before cells fan out and are read-only
-// afterwards.
-type campaignRun struct {
+// CampaignRun holds the resolved state shared by a campaign's cells. All
+// maps are populated serially (ResolveCell) before cells fan out and are
+// read-only afterwards. RunCampaign drives the whole lifecycle in-process;
+// the distributed runner (internal/distrib) opens a run per process and
+// resolves cells lazily as they are assigned.
+type CampaignRun struct {
 	spec      scenario.CampaignSpec
 	opt       CampaignOptions
 	baseScale Scale
@@ -76,11 +84,11 @@ type campaignRun struct {
 	scalarRL  map[string]*rl.Scheduler
 }
 
-// RunCampaign validates and expands the spec, resolves variant materials
-// and family models, and evaluates every cell, returning results in
-// expansion order. Cell failures don't abort the rest of the grid; the
-// returned error names every failed cell.
-func RunCampaign(spec scenario.CampaignSpec, opt CampaignOptions) ([]CellResult, error) {
+// OpenCampaign validates the spec and prepares a run whose cells can be
+// resolved and evaluated individually. Nothing heavy happens here: base
+// materials and family models resolve on the first ResolveCell that needs
+// them.
+func OpenCampaign(spec scenario.CampaignSpec, opt CampaignOptions) (*CampaignRun, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
@@ -95,30 +103,58 @@ func RunCampaign(spec scenario.CampaignSpec, opt CampaignOptions) ([]CellResult,
 			return nil, fmt.Errorf("experiments: campaign %s: model store: %w", spec.Name, err)
 		}
 	}
-	run := &campaignRun{
+	return &CampaignRun{
 		spec:      spec,
 		opt:       opt,
 		baseScale: baseScale,
 		materials: make(map[string]*Materials),
 		mrsch:     make(map[string]*core.MRSch),
 		scalarRL:  make(map[string]*rl.Scheduler),
+	}, nil
+}
+
+// Spec returns the run's campaign spec.
+func (r *CampaignRun) Spec() scenario.CampaignSpec { return r.spec }
+
+// Cells returns the run's deterministic grid expansion.
+func (r *CampaignRun) Cells() []scenario.Cell { return r.spec.Expand() }
+
+// ResolveCell prepares everything the cell's evaluation needs: its base
+// materials and, for trained methods, its family model (trained in-process,
+// loaded from the ModelDir store, or loaded from an explicit weights file
+// — see CampaignOptions.NoTrain). Resolution is cached, so re-resolving a
+// cell or resolving a sibling of the same family is free. Not safe to call
+// concurrently: callers resolve serially, then fan evaluation out.
+func (r *CampaignRun) ResolveCell(cell scenario.Cell) error {
+	if _, err := r.resolveMaterials(cell); err != nil {
+		return fmt.Errorf("experiments: campaign %s: %s: %w", r.spec.Name, cell.Label(), err)
 	}
-	cells := spec.Expand()
-	for _, cell := range cells {
-		if _, err := run.resolveMaterials(cell); err != nil {
-			return nil, fmt.Errorf("experiments: campaign %s: %s: %w", spec.Name, cell.Label(), err)
-		}
+	if err := r.resolveModel(cell); err != nil {
+		return fmt.Errorf("experiments: campaign %s: %s: %w", r.spec.Name, cell.Label(), err)
 	}
+	return nil
+}
+
+// RunCampaign validates and expands the spec, resolves variant materials
+// and family models, and evaluates every cell, returning results in
+// expansion order. Cell failures don't abort the rest of the grid; the
+// returned error names every failed cell.
+func RunCampaign(spec scenario.CampaignSpec, opt CampaignOptions) ([]CellResult, error) {
+	run, err := OpenCampaign(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	cells := run.Cells()
 	for _, cell := range cells {
-		if err := run.resolveModel(cell); err != nil {
-			return nil, fmt.Errorf("experiments: campaign %s: %s: %w", spec.Name, cell.Label(), err)
+		if err := run.ResolveCell(cell); err != nil {
+			return nil, err
 		}
 	}
 	return run.evalCells(cells, opt.Workers)
 }
 
 // evalCells fans the prepared cells across the worker pool.
-func (r *campaignRun) evalCells(cells []scenario.Cell, workers int) ([]CellResult, error) {
+func (r *CampaignRun) evalCells(cells []scenario.Cell, workers int) ([]CellResult, error) {
 	results, errs := rollout.MapCollect(workers, cells, func(_, _ int, cell scenario.Cell) (CellResult, error) {
 		return r.evalCell(cell)
 	})
@@ -137,7 +173,7 @@ func (r *campaignRun) evalCells(cells []scenario.Cell, workers int) ([]CellResul
 
 // scaleFor derives the cell's effective scale: the campaign scale with the
 // cell's replicate seed and the scenario's base-trace overrides applied.
-func (r *campaignRun) scaleFor(cell scenario.Cell) Scale {
+func (r *CampaignRun) scaleFor(cell scenario.Cell) Scale {
 	sc := r.baseScale
 	if cell.Seed != 0 {
 		sc.Seed = cell.Seed
@@ -158,7 +194,7 @@ func materialsKey(sc Scale) string {
 
 // resolveMaterials prepares (and caches) the cell's base materials. Called
 // serially before the fan-out; evalCell only reads the cache.
-func (r *campaignRun) resolveMaterials(cell scenario.Cell) (*Materials, error) {
+func (r *CampaignRun) resolveMaterials(cell scenario.Cell) (*Materials, error) {
 	sc := r.scaleFor(cell)
 	key := materialsKey(sc)
 	if m, ok := r.materials[key]; ok {
@@ -175,13 +211,13 @@ func (r *campaignRun) resolveMaterials(cell scenario.Cell) (*Materials, error) {
 	return m, nil
 }
 
-func (r *campaignRun) materialsOf(cell scenario.Cell) *Materials {
+func (r *CampaignRun) materialsOf(cell scenario.Cell) *Materials {
 	return r.materials[materialsKey(r.scaleFor(cell))]
 }
 
 // modelKey identifies one trained model: a method's model is shared by
 // every cell whose scenario family, arity, and base materials match.
-func (r *campaignRun) modelKey(cell scenario.Cell) string {
+func (r *CampaignRun) modelKey(cell scenario.Cell) string {
 	sp := cell.Scenario
 	return fmt.Sprintf("%s|%s|cnn=%v|power=%v|file=%s|%s",
 		cell.Method.Kind, sp.FamilyName(), cell.Method.CNN, sp.Power,
@@ -192,7 +228,7 @@ func (r *campaignRun) modelKey(cell scenario.Cell) string {
 // the family doesn't have it yet. Called serially before the fan-out:
 // training itself parallelizes across rollout workers, and evaluation cells
 // must only ever read frozen weights.
-func (r *campaignRun) resolveModel(cell scenario.Cell) error {
+func (r *CampaignRun) resolveModel(cell scenario.Cell) error {
 	method := cell.Method
 	if !method.Kind.Trained() {
 		return nil
@@ -226,6 +262,8 @@ func (r *campaignRun) resolveModel(cell scenario.Cell) error {
 		case stored != "" && fileExists(stored):
 			agent, err = loadMRSchModel(m, sp, cnn, stored)
 			r.notifyModel(family, "cached", stored, err)
+		case r.opt.NoTrain:
+			return errNoTrain(family, stored)
 		default:
 			if sp.Power {
 				agent, err = TrainMRSchPower(m, family)
@@ -252,6 +290,8 @@ func (r *campaignRun) resolveModel(cell scenario.Cell) error {
 		if stored != "" && fileExists(stored) {
 			agent, err = loadScalarRLModel(m, sp, stored)
 			r.notifyModel(family, "cached", stored, err)
+		} else if r.opt.NoTrain {
+			return errNoTrain(family, stored)
 		} else {
 			agent, err = TrainScalarRL(m, family, m.SystemFor(sp), sp.Power)
 			if err == nil && stored != "" {
@@ -276,7 +316,7 @@ func (r *campaignRun) resolveModel(cell scenario.Cell) error {
 // training mode — so a campaign re-run under identical settings maps to
 // the same file, and a run under different settings cannot silently load
 // weights trained another way.
-func (r *campaignRun) storePath(cell scenario.Cell) string {
+func (r *CampaignRun) storePath(cell scenario.Cell) string {
 	if r.opt.ModelDir == "" || cell.Method.Model != "" {
 		return ""
 	}
@@ -293,10 +333,22 @@ func (r *campaignRun) storePath(cell scenario.Cell) string {
 
 // notifyModel reports a family-model resolution to the OnModel observer
 // (successful resolutions only; failures surface through the error path).
-func (r *campaignRun) notifyModel(family, action, path string, err error) {
+func (r *CampaignRun) notifyModel(family, action, path string, err error) {
 	if err == nil && r.opt.OnModel != nil {
 		r.opt.OnModel(family, action, path)
 	}
+}
+
+// errNoTrain names a family model a NoTrain run could not resolve. The
+// store path is part of the message: on a distributed worker it tells the
+// operator whether the store was never populated or the worker is pointed
+// at the wrong directory.
+func errNoTrain(family, stored string) error {
+	where := "no model store configured"
+	if stored != "" {
+		where = fmt.Sprintf("store file %s does not exist", stored)
+	}
+	return fmt.Errorf("family %s needs a trained model but in-process training is disabled (NoTrain): %s", family, where)
 }
 
 func fileExists(path string) bool {
@@ -348,11 +400,20 @@ func loadScalarRLModel(m *Materials, sp scenario.ScenarioSpec, path string) (*rl
 	return agent, nil
 }
 
+// EvalCell runs one resolved grid cell as an independent evaluation
+// episode. The cell must have been ResolveCell'd first; evaluation reads
+// only frozen models and cached materials, so distinct cells may be
+// evaluated concurrently (RunCampaign fans them over the rollout pool, a
+// distributed worker runs them one at a time).
+func (r *CampaignRun) EvalCell(cell scenario.Cell) (CellResult, error) {
+	return r.evalCell(cell)
+}
+
 // evalCell runs one grid cell as an independent evaluation episode. Error
 // results still carry the cell (with a zero Report), so partial campaign
 // renderings label failed cells by name instead of collapsing them into
 // one anonymous row.
-func (r *campaignRun) evalCell(cell scenario.Cell) (CellResult, error) {
+func (r *CampaignRun) evalCell(cell scenario.Cell) (CellResult, error) {
 	failed := CellResult{Cell: cell}
 	m := r.materialsOf(cell)
 	if m == nil {
@@ -381,7 +442,7 @@ func (r *campaignRun) evalCell(cell scenario.Cell) (CellResult, error) {
 // construct fresh; trained methods wrap a read-only actor clone of the
 // family's frozen model, so cells sharing one model may run concurrently.
 // All seeding derives from Cell.Index.
-func (r *campaignRun) cellPolicy(m *Materials, cell scenario.Cell) (*sched.WindowPolicy, error) {
+func (r *CampaignRun) cellPolicy(m *Materials, cell scenario.Cell) (*sched.WindowPolicy, error) {
 	switch cell.Method.Kind {
 	case scenario.KindHeuristic:
 		return FCFSPolicy(m.Scale.Window), nil

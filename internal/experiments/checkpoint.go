@@ -34,7 +34,10 @@ const ckptMagic = "mrsch-train-ckpt-v1"
 func init() {
 	// Fixed-order gob type-ID claim, keeping encoded bytes history-free
 	// (see nn.GobWarmup).
-	nn.RegisterGobContainer(func(enc *gob.Encoder) { enc.Encode(&trainCheckpoint{}) })
+	nn.RegisterGobContainer(func(enc *gob.Encoder) {
+		enc.Encode(&trainCheckpoint{})
+		enc.Encode(&validatedState{})
+	})
 }
 
 // trainCheckpoint is the on-disk container: the resume manifest plus the
@@ -217,6 +220,52 @@ func (s Scale) wireCheckpoint(cfg *rollout.Config, key string, total int,
 		return nil
 	}
 	return nil
+}
+
+// validatedMagic versions the composite validated-training state.
+const validatedMagic = "mrsch-validated-state-v1"
+
+// validatedState is the agent-state blob of a validated training run: the
+// agent's own training state composed with the §IV-A model-selection state
+// (core.Selection), so -validate runs checkpoint and resume without losing
+// the best weights seen before an interruption.
+type validatedState struct {
+	Magic     string
+	Agent     []byte
+	Selection []byte
+}
+
+// validatedSaver bundles an agent's SaveState with its selection's into one
+// wireCheckpoint save function.
+func validatedSaver(agent interface{ SaveState(io.Writer) error }, sel interface{ SaveState(io.Writer) error }) func(io.Writer) error {
+	return func(w io.Writer) error {
+		var a, s bytes.Buffer
+		if err := agent.SaveState(&a); err != nil {
+			return err
+		}
+		if err := sel.SaveState(&s); err != nil {
+			return err
+		}
+		return nn.EncodeChecksummed(w, &validatedState{Magic: validatedMagic, Agent: a.Bytes(), Selection: s.Bytes()})
+	}
+}
+
+// validatedLoader is the matching wireCheckpoint load function: both
+// sections decode and validate before either side is mutated.
+func validatedLoader(agent interface{ LoadState(io.Reader) error }, sel interface{ LoadState(io.Reader) error }) func(io.Reader) error {
+	return func(r io.Reader) error {
+		var st validatedState
+		if err := nn.DecodeChecksummed(r, &st); err != nil {
+			return fmt.Errorf("validated state: %w", err)
+		}
+		if st.Magic != validatedMagic {
+			return fmt.Errorf("validated state: bad magic %q (want %q; checkpoint was written without -validate?)", st.Magic, validatedMagic)
+		}
+		if err := agent.LoadState(bytes.NewReader(st.Agent)); err != nil {
+			return err
+		}
+		return sel.LoadState(bytes.NewReader(st.Selection))
+	}
 }
 
 // specHash digests the scale spec the run's materials and curriculum are

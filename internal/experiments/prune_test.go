@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// PruneModelStore: entries reachable from the builtin campaign envelope
+// survive, orphans go, and nothing that isn't a *.model file is touched.
+func TestPruneModelStore(t *testing.T) {
+	store := t.TempDir()
+	sp, err := scenario.ByName("S2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := scenario.CampaignSpec{
+		Name:      "prune-test",
+		Scale:     scenario.TinyScaleSpec(),
+		Scenarios: []scenario.ScenarioSpec{sp},
+		Methods:   []scenario.MethodSpec{{Kind: scenario.KindMRSch, Train: true}},
+	}
+	if _, err := RunCampaign(spec, CampaignOptions{Workers: 1, ModelDir: store}); err != nil {
+		t.Fatal(err)
+	}
+	models, err := filepath.Glob(filepath.Join(store, "*.model"))
+	if err != nil || len(models) != 1 {
+		t.Fatalf("campaign left %d model(s) in the store (err %v)", len(models), err)
+	}
+	live := filepath.Base(models[0])
+
+	// An orphan with a store-shaped name, and a bystander file the pruner
+	// must never consider.
+	orphan := "mrsch-S4-deadbeefdeadbeef.model"
+	for _, name := range []string{orphan, "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(store, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	kept, pruned, err := PruneModelStore(store, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != 1 || pruned[0] != orphan {
+		t.Fatalf("dry run would prune %v, want [%s]", pruned, orphan)
+	}
+	if len(kept) != 1 || kept[0] != live {
+		t.Fatalf("dry run keeps %v, want [%s]", kept, live)
+	}
+	if _, err := os.Stat(filepath.Join(store, orphan)); err != nil {
+		t.Fatal("dry run deleted the orphan")
+	}
+
+	if _, pruned, err = PruneModelStore(store, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != 1 || pruned[0] != orphan {
+		t.Fatalf("pruned %v, want [%s]", pruned, orphan)
+	}
+	if _, err := os.Stat(filepath.Join(store, orphan)); !os.IsNotExist(err) {
+		t.Fatalf("orphan still present after prune (err %v)", err)
+	}
+	for _, name := range []string{live, "notes.txt"} {
+		if _, err := os.Stat(filepath.Join(store, name)); err != nil {
+			t.Fatalf("prune removed %s: %v", name, err)
+		}
+	}
+
+	// A reachable store never shrinks: prune again, nothing to do.
+	if _, pruned, err = PruneModelStore(store, 1, false); err != nil {
+		t.Fatal(err)
+	} else if len(pruned) != 0 {
+		t.Fatalf("second prune removed %v", pruned)
+	}
+}

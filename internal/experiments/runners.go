@@ -108,20 +108,29 @@ func TrainMRSch(m *Materials, scenario string, useCNN bool) (*core.MRSch, []core
 // validation workload and the best weights are restored at the end. The
 // validation runs hook into the rollout harness between episodes (weights
 // are stable there — no rollouts in flight), so the protocol composes with
-// parallel collection unchanged.
+// parallel collection unchanged. With Scale.CheckpointDir set, the round
+// checkpoints carry the selection state (best score and weights) alongside
+// the agent state, so a resumed validated run keeps a best model found
+// before the interruption; the "-validated" key suffix keeps these
+// checkpoints from colliding with plain TrainMRSch ones.
 func TrainMRSchValidated(m *Materials, scenario string) (*core.MRSch, []core.EpisodeResult, core.ValidationMetrics, error) {
 	sys := m.Scale.System()
 	agent := core.New(sys, m.Scale.mrschOptions(m.Scale.Seed+11, false))
 	byKind := m.CurriculumSets(scenario)
 	order := Ordering{core.Sampled, core.Real, core.Synthetic}
 	sel := core.NewSelection(agent, sys, m.ValidationWorkload(scenario), 2)
+	sets := order.Sets(byKind)
 
 	cfg := m.Scale.rolloutConfig()
 	cfg.AfterEpisode = sel.AfterEpisode
+	if err := m.Scale.wireCheckpoint(&cfg, trainKey("mrsch", scenario, false, false)+"-validated", len(sets),
+		validatedSaver(agent, sel), validatedLoader(agent, sel)); err != nil {
+		return agent, nil, core.ValidationMetrics{}, err
+	}
 	results, err := rollout.Train(rollout.NewMRSchLearner(agent, core.TrainConfig{
 		System:          sys,
 		StepsPerEpisode: m.Scale.StepsPerEpisode,
-	}), cfg, order.Sets(byKind))
+	}), cfg, sets)
 	if err != nil {
 		return agent, results, core.ValidationMetrics{}, err
 	}

@@ -91,7 +91,7 @@ func RunSweep(m *Materials, grid []SweepCell, workers int) ([]SweepResult, error
 			return nil, err
 		}
 	}
-	run := &campaignRun{
+	run := &CampaignRun{
 		spec:      scenario.CampaignSpec{Name: "sweep", Scale: m.Scale.Spec()},
 		baseScale: m.Scale,
 		materials: map[string]*Materials{materialsKey(m.Scale): m},

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -116,6 +117,19 @@ func Load(r io.Reader) (CampaignSpec, error) {
 		return CampaignSpec{}, err
 	}
 	return spec, nil
+}
+
+// Fingerprint digests the spec's canonical Dump form. Two specs share a
+// fingerprint exactly when they expand to identical grids over identical
+// sizing — the property the distributed runner's handshake relies on to
+// refuse mixing workers configured from a different campaign.
+func (c CampaignSpec) Fingerprint() (string, error) {
+	var buf bytes.Buffer
+	if err := c.Dump(&buf); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return fmt.Sprintf("%x", sum[:16]), nil
 }
 
 // Dump writes the spec as stable, indented JSON (the golden-file format:
