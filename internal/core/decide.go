@@ -1,0 +1,60 @@
+package core
+
+import (
+	"repro/internal/dfp"
+	"repro/internal/encode"
+	"repro/internal/sched"
+)
+
+// BatchDecider mirrors Pick for a batch of decision contexts, reading the
+// agent's published weight snapshot instead of the live weights. It encodes
+// each context, computes its Eq. (1) goal vector (or the agent's FixedGoal),
+// and selects all actions in one batched greedy forward pass
+// (dfp.BatchDecider). Row i's decision is byte-identical to
+// m.Pick(ctxs[i]) with Train=false for the same published weights, at any
+// batch size — the decision-service equivalence contract. Not safe for
+// concurrent use; internal/serve pools deciders under its reader lock.
+type BatchDecider struct {
+	enc       encode.Config
+	bd        *dfp.BatchDecider
+	fixedGoal []float64
+
+	states, meas, goals [][]float64
+	valid               []int
+}
+
+// BatchDecider returns a batched snapshot-reading decider for the agent
+// (materializing the weight snapshot from the current live weights on first
+// use). It reports false when the agent's state module cannot be
+// snapshot-cloned, like dfp.Agent.SnapshotDecider.
+func (m *MRSch) BatchDecider() (*BatchDecider, bool) {
+	bd, ok := m.Agent.SnapshotDecider()
+	if !ok {
+		return nil, false
+	}
+	return &BatchDecider{enc: m.Enc, bd: bd, fixedGoal: m.FixedGoal}, true
+}
+
+// Decide picks one window job per context, writing into dst (grown as
+// needed).
+func (d *BatchDecider) Decide(ctxs []*sched.PickContext, dst []int) []int {
+	b := len(ctxs)
+	if cap(d.states) < b {
+		d.states = make([][]float64, b)
+		d.meas = make([][]float64, b)
+		d.goals = make([][]float64, b)
+		d.valid = make([]int, b)
+	}
+	d.states, d.meas, d.goals, d.valid = d.states[:b], d.meas[:b], d.goals[:b], d.valid[:b]
+	for i, ctx := range ctxs {
+		d.states[i] = d.enc.Encode(ctx)
+		d.meas[i] = ctx.Usage
+		if d.fixedGoal != nil {
+			d.goals[i] = d.fixedGoal
+		} else {
+			d.goals[i] = GoalVector(ctx)
+		}
+		d.valid[i] = len(ctx.Window)
+	}
+	return d.bd.DecideBatch(d.states, d.meas, d.goals, d.valid, dst)
+}

@@ -1,0 +1,157 @@
+// The batched greedy decider behind the decision service (internal/serve).
+// A BatchDecider scores B decision requests in ONE batched forward pass per
+// module — the admission-batching amortization — while keeping every row's
+// arithmetic bitwise identical to the single-sample greedy path (Agent.Act
+// with train=false):
+//
+//   - Dense.ForwardBatchInto keeps one sequential accumulator per output, so
+//     each row of a batched matmul is bitwise equal to the single-sample dot
+//     product (ForwardInto IS ForwardBatchInto with bsz=1; see
+//     internal/nn/dense.go). Activations are elementwise, and nn.Batched's
+//     per-row adapter falls back to the single path outright.
+//   - The dueling combine, goal extension, scoring dot product, and argmax
+//     below reproduce forwardDueling/scoreInto/Act operation for operation.
+//
+// Together that yields the serve contract's headline guarantee: the action
+// chosen for a request does not depend on which other requests happened to
+// share its batch.
+package dfp
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// BatchDecider is a read-only batched inference clone of an Agent, reading
+// the published copy-on-write weight snapshot (nn.SnapshotClone). Any number
+// of deciders may run concurrently with each other; weight publication
+// (Agent.Load + PublishWeights) must be mutually excluded against in-flight
+// Decide calls — the synchronization internal/serve's engine provides with a
+// reader/writer lock. A BatchDecider is not safe for concurrent use by
+// multiple goroutines; callers pool them.
+type BatchDecider struct {
+	cfg  *Config
+	nets modules
+
+	stateNet nn.BatchLayer
+
+	// Scratch, Ensure-grown and reused across calls: steady-state Decide
+	// performs zero heap allocations, matching the single-sample Act.
+	stateB, measB, goalExtB nn.Vec
+	jsB, jmB, jgB, jointB   nn.Vec
+	expB, actB              nn.Vec
+	meanA, predRow, score   nn.Vec
+}
+
+// SnapshotDecider returns a batched greedy decider reading the published
+// weight snapshot (materialized from the current live weights on first use).
+// It reports false when a custom state module cannot be snapshot-cloned,
+// exactly like SnapshotActor.
+func (a *Agent) SnapshotDecider() (*BatchDecider, bool) {
+	nets, ok := a.nets.snapshotClone()
+	if !ok {
+		return nil, false
+	}
+	return &BatchDecider{
+		cfg:      &a.cfg,
+		nets:     nets,
+		stateNet: nn.Batched(nets.state),
+	}, true
+}
+
+// DecideBatch greedily selects one action per request row. states[i] is the
+// encoded state, meas[i] the measurement vector, goals[i] the per-measurement
+// goal (pre-extension), and valid[i] the number of valid actions (clamped to
+// [1, Actions] like Act). Results are written into dst (grown as needed) and
+// returned. Row i's action is bitwise identical to
+// Agent.Act(states[i], meas[i], goals[i], valid[i], false) at any batch size.
+func (d *BatchDecider) DecideBatch(states, meas, goals [][]float64, valid []int, dst []int) []int {
+	b := len(states)
+	if len(meas) != b || len(goals) != b || len(valid) != b {
+		panic(fmt.Sprintf("dfp: DecideBatch got %d states, %d meas, %d goals, %d valid", b, len(meas), len(goals), len(valid)))
+	}
+	if cap(dst) < b {
+		dst = make([]int, b)
+	}
+	dst = dst[:b]
+	if b == 0 {
+		return dst
+	}
+	cfg := d.cfg
+	sd, m, gd := cfg.StateDim, cfg.Measurements, cfg.GoalDim()
+	pd, n := cfg.PredDim(), cfg.Actions
+	so, h := cfg.StateOut, cfg.ModuleHidden
+	jd := so + 2*h
+
+	// Gather rows into row-major input matrices; extendGoalInto validates
+	// each goal's length, and the copies below validate states and meas.
+	d.stateB = nn.Ensure(d.stateB, b*sd)
+	d.measB = nn.Ensure(d.measB, b*m)
+	d.goalExtB = nn.Ensure(d.goalExtB, b*gd)
+	for i := 0; i < b; i++ {
+		if len(states[i]) != sd {
+			panic(fmt.Sprintf("dfp: DecideBatch row %d state has %d elements, want %d", i, len(states[i]), sd))
+		}
+		if len(meas[i]) != m {
+			panic(fmt.Sprintf("dfp: DecideBatch row %d meas has %d elements, want %d", i, len(meas[i]), m))
+		}
+		copy(d.stateB[i*sd:(i+1)*sd], states[i])
+		copy(d.measB[i*m:(i+1)*m], meas[i])
+		cfg.extendGoalInto(d.goalExtB[i*gd:(i+1)*gd], goals[i])
+	}
+
+	// One batched forward per module, interleaved into the joint rows (the
+	// training engine's layout), then one batched forward per stream.
+	d.jsB = nn.Ensure(d.jsB, b*so)
+	d.jmB = nn.Ensure(d.jmB, b*h)
+	d.jgB = nn.Ensure(d.jgB, b*h)
+	js := d.stateNet.ForwardBatchInto(d.jsB, d.stateB, b)
+	jm := d.nets.meas.ForwardBatchInto(d.jmB, d.measB, b)
+	jg := d.nets.goal.ForwardBatchInto(d.jgB, d.goalExtB, b)
+	d.jointB = nn.Ensure(d.jointB, b*jd)
+	for i := 0; i < b; i++ {
+		row := d.jointB[i*jd : (i+1)*jd]
+		copy(row[:so], js[i*so:(i+1)*so])
+		copy(row[so:so+h], jm[i*h:(i+1)*h])
+		copy(row[so+h:], jg[i*h:(i+1)*h])
+	}
+	d.expB = nn.Ensure(d.expB, b*pd)
+	d.actB = nn.Ensure(d.actB, b*n*pd)
+	exp := d.nets.exp.ForwardBatchInto(d.expB, d.jointB, b)
+	act := d.nets.act.ForwardBatchInto(d.actB, d.jointB, b)
+
+	// Per-row dueling combine, scoring, and argmax — the exact arithmetic of
+	// forwardDueling and scoreInto, row by row.
+	d.meanA = nn.Ensure(d.meanA, pd)
+	d.predRow = nn.Ensure(d.predRow, pd)
+	d.score = nn.Ensure(d.score, n)
+	for i := 0; i < b; i++ {
+		expRow := exp[i*pd : (i+1)*pd]
+		actRow := act[i*n*pd : (i+1)*n*pd]
+		goalExt := d.goalExtB[i*gd : (i+1)*gd]
+		nn.Fill(d.meanA, 0)
+		for ai := 0; ai < n; ai++ {
+			row := actRow[ai*pd : (ai+1)*pd]
+			for k, v := range row {
+				d.meanA[k] += v
+			}
+		}
+		for k := range d.meanA {
+			d.meanA[k] /= float64(n)
+		}
+		for ai := 0; ai < n; ai++ {
+			row := actRow[ai*pd : (ai+1)*pd]
+			for k := range d.predRow {
+				d.predRow[k] = expRow[k] + row[k] - d.meanA[k]
+			}
+			d.score[ai] = nn.Dot(goalExt, d.predRow)
+		}
+		v := valid[i]
+		if v <= 0 || v > n {
+			v = n
+		}
+		dst[i] = nn.ArgMax(d.score[:v])
+	}
+	return dst
+}

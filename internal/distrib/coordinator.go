@@ -217,6 +217,7 @@ func Run(spec scenario.CampaignSpec, copt experiments.CampaignOptions, opt Optio
 		fp:   fp,
 		cfg: message{
 			Type:            msgConfig,
+			Proto:           ProtocolVersion,
 			Spec:            []byte(specBuf.String()),
 			Fingerprint:     fp,
 			ModelDir:        copt.ModelDir,

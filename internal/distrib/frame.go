@@ -2,42 +2,38 @@ package distrib
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/gob"
-	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 
 	"repro/internal/metrics"
+	"repro/internal/wire"
 )
 
-// The wire format. Every message travels in one length-prefixed frame:
-//
-//	uint32 payload length (big endian)
-//	uint32 CRC-32 (IEEE) of the payload
-//	payload: one gob-encoded message value
-//
-// Frames are self-delimiting and independently decodable — each payload is
-// its own gob stream — so a single damaged frame is detectable (CRC or gob
+// The wire format: one gob-encoded message value per internal/wire frame
+// (uint32 big-endian length, uint32 CRC-32 IEEE, payload). Each payload is
+// its own gob stream, so a single damaged frame is detectable (CRC or gob
 // failure) without desynchronizing a healthy stream, and a truncated frame
 // surfaces as an unexpected EOF. Either way the receiver treats the peer as
 // corrupt (contract rule 5): there is no in-band resynchronization, the
-// connection is abandoned and the peer's in-flight work requeued.
+// connection is abandoned and the peer's in-flight work requeued. The frame
+// codec itself lives in internal/wire, shared with the decision service
+// (internal/serve); this file owns only the gob message layer.
 
-// ProtocolVersion gates the handshake: a worker and coordinator built from
-// different protocol revisions refuse to pair instead of mis-decoding each
-// other's frames.
+// ProtocolVersion gates the handshake — in both directions: the coordinator
+// rejects a worker hello carrying another version, and the worker rejects a
+// config frame carrying another version, each naming the peer's version in
+// the error. Two binaries built from different protocol revisions refuse to
+// pair instead of mis-decoding each other's frames.
 const ProtocolVersion = 1
 
-// maxFrameBytes bounds a frame's declared payload length. A corrupt length
-// prefix must not make the receiver allocate gigabytes before the CRC gets a
-// chance to reject the payload.
-const maxFrameBytes = 64 << 20
+// maxFrameBytes is the shared frame bound (see wire.MaxFrameBytes).
+const maxFrameBytes = wire.MaxFrameBytes
 
 // ErrCorruptFrame marks a frame whose length, checksum, or encoding is
-// damaged. The coordinator maps it to worker death (rule 5).
-var ErrCorruptFrame = errors.New("distrib: corrupt frame")
+// damaged. The coordinator maps it to worker death (rule 5). It aliases
+// wire.ErrCorruptFrame so errors.Is matches across both packages.
+var ErrCorruptFrame = wire.ErrCorruptFrame
 
 type msgType uint8
 
@@ -86,7 +82,8 @@ func (t msgType) String() string {
 type message struct {
 	Type msgType
 
-	// Hello: protocol version of the worker binary.
+	// Hello and Config: protocol version of the sending binary. Both sides
+	// of the handshake validate it and name the peer's version on mismatch.
 	Proto int
 
 	// Config: the campaign spec in canonical Dump JSON, its fingerprint,
@@ -123,7 +120,7 @@ func writeFrame(w io.Writer, m *message) error {
 	if err != nil {
 		return err
 	}
-	return writeRawFrame(w, payload, len(payload), crc32.ChecksumIEEE(payload))
+	return wire.WriteFrame(w, payload)
 }
 
 // encodeMessage gob-encodes one message as an independent stream.
@@ -139,46 +136,33 @@ func encodeMessage(m *message) ([]byte, error) {
 }
 
 // writeRawFrame writes a frame from pre-encoded payload bytes, with the
-// length and checksum the header claims. The fault harness calls it with a
-// deliberately wrong combination (flipped payload byte, over-long declared
-// length) to manufacture the corrupt and truncated frames of rule 5; every
-// healthy path goes through writeFrame.
+// length and checksum the header claims (wire.WriteRawFrame). The fault
+// harness calls it with a deliberately wrong combination (flipped payload
+// byte, over-long declared length) to manufacture the corrupt and truncated
+// frames of rule 5; every healthy path goes through writeFrame.
 func writeRawFrame(w io.Writer, payload []byte, declaredLen int, sum uint32) error {
-	var hdr [8]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(declaredLen))
-	binary.BigEndian.PutUint32(hdr[4:8], sum)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("distrib: writing frame header: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("distrib: writing frame payload: %w", err)
-	}
-	return nil
+	return wire.WriteRawFrame(w, payload, declaredLen, sum)
 }
 
 // readFrame reads and decodes one frame. io.EOF passes through untouched so
 // callers can distinguish a clean close from damage; any length, checksum,
 // or decode problem wraps ErrCorruptFrame.
 func readFrame(r io.Reader) (*message, error) {
-	var hdr [8]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.EOF {
-			return nil, io.EOF
-		}
-		return nil, fmt.Errorf("distrib: reading frame header: %w", err)
+	payload, err := wire.ReadFrame(r)
+	if err != nil {
+		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[0:4])
-	sum := binary.BigEndian.Uint32(hdr[4:8])
-	if n > maxFrameBytes {
-		return nil, fmt.Errorf("%w: declared payload of %d bytes exceeds the %d-byte bound", ErrCorruptFrame, n, maxFrameBytes)
+	m, err := decodeMessage(payload)
+	if err != nil {
+		return nil, err
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("%w: truncated payload (%d bytes declared): %v", ErrCorruptFrame, n, err)
-	}
-	if got := crc32.ChecksumIEEE(payload); got != sum {
-		return nil, fmt.Errorf("%w: checksum mismatch (header %08x, payload %08x)", ErrCorruptFrame, sum, got)
-	}
+	return m, nil
+}
+
+// decodeMessage decodes one verified frame payload into a message; gob
+// damage wraps ErrCorruptFrame like any other frame corruption. It is the
+// layer the shared FuzzDecodeFrame corpus drives for this protocol.
+func decodeMessage(payload []byte) (*message, error) {
 	var m message
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
 		return nil, fmt.Errorf("%w: decoding payload: %v", ErrCorruptFrame, err)

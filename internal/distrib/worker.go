@@ -3,7 +3,6 @@ package distrib
 import (
 	"bytes"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -11,6 +10,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/scenario"
+	"repro/internal/wire"
 )
 
 // The worker side of the protocol: one process (or, in tests, one
@@ -114,6 +114,12 @@ func ServeWorker(conn io.ReadWriteCloser, opt WorkerOptions) error {
 // configure builds the worker's campaign run from the config frame and
 // starts the heartbeat loop.
 func (w *worker) configure(m *message) error {
+	// Reject a coordinator from another protocol revision before trusting
+	// anything else in the frame — and name its version, so an operator
+	// staring at a mixed-binary deployment knows which side to upgrade.
+	if m.Proto != ProtocolVersion {
+		return fmt.Errorf("distrib: worker config: coordinator speaks protocol %d, worker %d", m.Proto, ProtocolVersion)
+	}
 	spec, err := scenario.Load(bytes.NewReader(m.Spec))
 	if err != nil {
 		return fmt.Errorf("distrib: worker config: %w", err)
@@ -219,7 +225,7 @@ func (w *worker) sendResult(m *message) error {
 	if err != nil {
 		return err
 	}
-	sum := crc32.ChecksumIEEE(payload)
+	sum := wire.Checksum(payload)
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
 	switch {

@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// BenchmarkDecisionsPerSec measures the engine's decision throughput at
+// the admission batch sizes the daemon actually dispatches: the per-batch
+// forward-pass amortization is the whole point of admission batching, and
+// this benchmark is what BENCH_serve.json's engine numbers come from.
+func BenchmarkDecisionsPerSec(b *testing.B) {
+	sys := testSystem()
+	rng := rand.New(rand.NewSource(61))
+	const total = 64
+	ctxs := make([]*sched.PickContext, total)
+	for i := range ctxs {
+		req := randomRequest(rng, sys)
+		ctx, err := buildContext(sys, 6, &req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctxs[i] = ctx
+	}
+	eng, err := newEngine(testAgent(sys, 21))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bs := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
+			var dst []int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				lo := (n * bs) % total
+				if lo+bs > total {
+					lo = 0
+				}
+				dst, _ = eng.decide(ctxs[lo:lo+bs], dst)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*bs)/b.Elapsed().Seconds(), "decisions/s")
+		})
+	}
+}
