@@ -90,6 +90,7 @@ import (
 
 	"repro/internal/distrib"
 	"repro/internal/experiments"
+	"repro/internal/nn"
 	"repro/internal/scenario"
 )
 
@@ -113,6 +114,10 @@ func main() {
 	reportFlag := flag.String("report", "", "campaign mode: also write the campaign table to this file (byte-comparable across runs)")
 	pruneFlag := flag.Bool("prune", false, "garbage-collect the -checkpoint model store against the builtin-campaign keep-set")
 	flag.Parse()
+
+	// Kernel-set attribution goes to stderr only: worker mode speaks the
+	// distrib frame protocol on stdout, which must stay clean.
+	fmt.Fprintf(os.Stderr, "mrsch-exp: kernel set %s (cpu features: %s)\n", nn.KernelName(), nn.KernelFeatures())
 
 	if *workerFlag {
 		runWorker(*connectFlag)

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/nn"
 	"repro/internal/serve"
 )
 
@@ -111,8 +112,9 @@ func runDaemon(sc experiments.Scale, model, listen string, maxBatch int, maxWait
 	if err != nil {
 		return err
 	}
-	fmt.Printf("mrsch-serve: serving %s decisions on %s (window %d, model version %d, max batch %d, max wait %s)\n",
-		sys.Name, ln.Addr(), agent.Enc.Window, srv.ModelVersion(), maxBatch, maxWait)
+	fmt.Fprintf(os.Stderr, "mrsch-serve: kernel set %s (cpu features: %s)\n", nn.KernelName(), nn.KernelFeatures())
+	fmt.Printf("mrsch-serve: serving %s decisions on %s (window %d, model version %d, max batch %d, max wait %s, kernel %s)\n",
+		sys.Name, ln.Addr(), agent.Enc.Window, srv.ModelVersion(), maxBatch, maxWait, nn.KernelName())
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)

@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/nn"
 	"repro/internal/rollout"
 	"repro/internal/scenario"
 )
@@ -60,6 +61,10 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 1, "write a checkpoint every N round boundaries (the final boundary always writes)")
 	resume := flag.Bool("resume", false, "resume from the checkpoint in -checkpoint if one exists (requires identical flags)")
 	flag.Parse()
+
+	// Attribute every run to its kernel set up front (MRSCH_KERNEL forces
+	// one; see internal/nn/kernel).
+	fmt.Fprintf(os.Stderr, "mrsch-train: kernel set %s (cpu features: %s)\n", nn.KernelName(), nn.KernelFeatures())
 
 	// Flag combinations fail loudly: a negative -parallel used to fall back
 	// to all cores silently (the rollout.ResolveWorkers n<=0 convention),

@@ -77,6 +77,8 @@ type inferScratch struct {
 	meanA       nn.Vec
 	predBacking nn.Vec
 	predRows    [][]float64
+	predOutBack nn.Vec      // backs the rows Predict hands out
+	predOut     [][]float64 // row headers returned by Predict, reused per call
 	score       nn.Vec
 }
 

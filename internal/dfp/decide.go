@@ -4,11 +4,13 @@
 // arithmetic bitwise identical to the single-sample greedy path (Agent.Act
 // with train=false):
 //
-//   - Dense.ForwardBatchInto keeps one sequential accumulator per output, so
-//     each row of a batched matmul is bitwise equal to the single-sample dot
-//     product (ForwardInto IS ForwardBatchInto with bsz=1; see
-//     internal/nn/dense.go). Activations are elementwise, and nn.Batched's
-//     per-row adapter falls back to the single path outright.
+//   - Dense.ForwardBatchInto computes every sample row with the same kernel
+//     primitives in the same order regardless of batch size (ForwardInto IS
+//     ForwardBatchInto with bsz=1), so each row of a batched matmul is
+//     bitwise equal to the single-sample product under whichever nn kernel
+//     set the process runs — the Set contract in internal/nn/kernel.
+//     Activations are elementwise, and nn.Batched's per-row adapter falls
+//     back to the single path outright.
 //   - The dueling combine, goal extension, scoring dot product, and argmax
 //     below reproduce forwardDueling/scoreInto/Act operation for operation.
 //

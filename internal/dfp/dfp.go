@@ -409,16 +409,23 @@ func (a *Agent) backwardFromPredGrads(grads [][]float64) {
 }
 
 // Predict returns the per-action predicted future-measurement changes for
-// the given inputs (inference only). The returned rows are freshly
-// allocated; latency-critical callers should go through Act, which reuses
-// scratch buffers.
+// the given inputs (inference only). The returned rows are agent-owned
+// scratch — valid until this agent's next Predict call, and not clobbered
+// by Act — so the steady-state forward path is uniformly zero-alloc.
+// Callers that need the rows beyond the next Predict must copy them.
 func (a *Agent) Predict(state, meas, goalExt []float64) [][]float64 {
 	preds := a.forwardScratch(state, meas, goalExt)
-	out := make([][]float64, len(preds))
-	for i, p := range preds {
-		out[i] = append([]float64(nil), p...)
+	n, pd := len(preds), a.cfg.PredDim()
+	a.scr.predOutBack = nn.Ensure(a.scr.predOutBack, n*pd)
+	if len(a.scr.predOut) != n {
+		a.scr.predOut = make([][]float64, n)
 	}
-	return out
+	for i, p := range preds {
+		row := a.scr.predOutBack[i*pd : (i+1)*pd]
+		copy(row, p)
+		a.scr.predOut[i] = row
+	}
+	return a.scr.predOut
 }
 
 // Score collapses predictions into one scalar objective per action:

@@ -17,7 +17,10 @@
 //     and evaluation reads only frozen models and materials (the
 //     internal/rollout determinism contract), so one cell evaluated on any
 //     worker — or in-process — produces identical bytes. Everything else
-//     in this contract leans on that.
+//     in this contract leans on that. Workers on one host inherit the same
+//     nn kernel set automatically; a fleet spanning hosts with different
+//     CPU support must pin one (MRSCH_KERNEL=go) to keep cell bytes
+//     machine-independent (internal/nn "Kernel dispatch").
 //
 //  2. Collation is exactly-once by first-valid-result-wins. The first
 //     result frame for a cell is collated; every later copy — a duplicated

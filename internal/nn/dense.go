@@ -70,60 +70,10 @@ func (d *Dense) ForwardBatchInto(dst, x Vec, bsz int) Vec {
 	if len(dst) != bsz*d.Out {
 		panic(fmt.Sprintf("nn: Dense.ForwardBatch dst len %d, want %d x %d", len(dst), bsz, d.Out))
 	}
-	denseForward(dst, d.inBuf, d.W.Value, d.B.Value, d.In, d.Out, bsz)
+	// The forward matmul is a kernel-set call: dst = x·Wᵀ + b through the
+	// process-global set (pure-Go reference or CPUID-dispatched SIMD).
+	kern.DenseForward(dst, d.inBuf, d.W.Value, d.B.Value, d.In, d.Out, bsz)
 	return dst
-}
-
-// denseForward computes dst = x·Wᵀ + b for bsz row-major samples. The output
-// rows are tiled so the active block of W stays L1-resident across the batch,
-// and within a tile four output neurons share one streaming pass over the
-// input row (4-way register blocking). Each output keeps its own sequential
-// accumulator, so results are bitwise identical to the naive per-output dot
-// product.
-func denseForward(dst, x, w, b Vec, in, out, bsz int) {
-	// ~16 KB of W per tile, leaving L1 room for the input rows and output;
-	// at least one 4-row microkernel per tile.
-	oblk := 2048 / in
-	oblk -= oblk % 4
-	if oblk < 4 {
-		oblk = 4
-	}
-	for ob := 0; ob < out; ob += oblk {
-		oe := ob + oblk
-		if oe > out {
-			oe = out
-		}
-		for bi := 0; bi < bsz; bi++ {
-			xr := x[bi*in : (bi+1)*in]
-			dr := dst[bi*out : (bi+1)*out]
-			o := ob
-			for ; o+4 <= oe; o += 4 {
-				r0 := w[o*in : (o+1)*in]
-				r1 := w[(o+1)*in : (o+2)*in]
-				r2 := w[(o+2)*in : (o+3)*in]
-				r3 := w[(o+3)*in : (o+4)*in]
-				var s0, s1, s2, s3 float64
-				for i, xi := range xr {
-					s0 += r0[i] * xi
-					s1 += r1[i] * xi
-					s2 += r2[i] * xi
-					s3 += r3[i] * xi
-				}
-				dr[o] = s0 + b[o]
-				dr[o+1] = s1 + b[o+1]
-				dr[o+2] = s2 + b[o+2]
-				dr[o+3] = s3 + b[o+3]
-			}
-			for ; o < oe; o++ {
-				row := w[o*in : (o+1)*in]
-				var s float64
-				for i, xi := range xr {
-					s += row[i] * xi
-				}
-				dr[o] = s + b[o]
-			}
-		}
-	}
 }
 
 // Backward accumulates dL/dW and dL/db and returns dL/dx.
@@ -215,96 +165,17 @@ func denseBackwardRow(gin, grad, x, w, gw, gb Vec, in, out int) {
 	}
 }
 
-// accumBatchGrads performs gb += Σ_rows grad and gw += gradᵀ·x with 4-way
-// sample blocking: four samples' rank-1 updates merge into one streaming
-// pass over each weight-gradient row, quartering the gw load/store traffic
-// that dominates the naive per-sample backward.
+// accumBatchGrads performs gb += Σ_rows grad and gw += gradᵀ·x through the
+// active kernel set's sample-blocked accumulation kernel.
 func (d *Dense) accumBatchGrads(grad Vec, bsz int) {
-	in, out := d.In, d.Out
-	gw, gb := d.W.Grad, d.B.Grad
-	x := d.inBuf
-	for o := 0; o < out; o++ {
-		var s float64
-		for b := 0; b < bsz; b++ {
-			s += grad[b*out+o]
-		}
-		gb[o] += s
-	}
-	b0 := 0
-	for ; b0+8 <= bsz; b0 += 8 {
-		g0r := grad[b0*out : (b0+1)*out]
-		g1r := grad[(b0+1)*out : (b0+2)*out]
-		g2r := grad[(b0+2)*out : (b0+3)*out]
-		g3r := grad[(b0+3)*out : (b0+4)*out]
-		g4r := grad[(b0+4)*out : (b0+5)*out]
-		g5r := grad[(b0+5)*out : (b0+6)*out]
-		g6r := grad[(b0+6)*out : (b0+7)*out]
-		g7r := grad[(b0+7)*out : (b0+8)*out]
-		x0 := x[b0*in : (b0+1)*in]
-		x1 := x[(b0+1)*in : (b0+2)*in]
-		x2 := x[(b0+2)*in : (b0+3)*in]
-		x3 := x[(b0+3)*in : (b0+4)*in]
-		x4 := x[(b0+4)*in : (b0+5)*in]
-		x5 := x[(b0+5)*in : (b0+6)*in]
-		x6 := x[(b0+6)*in : (b0+7)*in]
-		x7 := x[(b0+7)*in : (b0+8)*in]
-		for o := 0; o < out; o++ {
-			g0, g1, g2, g3 := g0r[o], g1r[o], g2r[o], g3r[o]
-			g4, g5, g6, g7 := g4r[o], g5r[o], g6r[o], g7r[o]
-			if g0 == 0 && g1 == 0 && g2 == 0 && g3 == 0 &&
-				g4 == 0 && g5 == 0 && g6 == 0 && g7 == 0 {
-				// Masked temporal offsets zero whole gradient columns; skip
-				// the row entirely (the sparse dueling backward relies on
-				// the same property sample-wise).
-				continue
-			}
-			grow := gw[o*in : (o+1)*in]
-			for i := range grow {
-				grow[i] += g0*x0[i] + g1*x1[i] + g2*x2[i] + g3*x3[i] +
-					g4*x4[i] + g5*x5[i] + g6*x6[i] + g7*x7[i]
-			}
-		}
-	}
-	for ; b0+4 <= bsz; b0 += 4 {
-		g0r := grad[b0*out : (b0+1)*out]
-		g1r := grad[(b0+1)*out : (b0+2)*out]
-		g2r := grad[(b0+2)*out : (b0+3)*out]
-		g3r := grad[(b0+3)*out : (b0+4)*out]
-		x0 := x[b0*in : (b0+1)*in]
-		x1 := x[(b0+1)*in : (b0+2)*in]
-		x2 := x[(b0+2)*in : (b0+3)*in]
-		x3 := x[(b0+3)*in : (b0+4)*in]
-		for o := 0; o < out; o++ {
-			g0, g1, g2, g3 := g0r[o], g1r[o], g2r[o], g3r[o]
-			if g0 == 0 && g1 == 0 && g2 == 0 && g3 == 0 {
-				continue
-			}
-			grow := gw[o*in : (o+1)*in]
-			for i := range grow {
-				grow[i] += g0*x0[i] + g1*x1[i] + g2*x2[i] + g3*x3[i]
-			}
-		}
-	}
-	for ; b0 < bsz; b0++ {
-		gr := grad[b0*out : (b0+1)*out]
-		xr := x[b0*in : (b0+1)*in]
-		for o, g := range gr {
-			if g == 0 {
-				continue
-			}
-			grow := gw[o*in : (o+1)*in]
-			for i := range grow {
-				grow[i] += g * xr[i]
-			}
-		}
-	}
+	kern.AccumGrads(d.W.Grad, d.B.Grad, grad, d.inBuf, d.In, d.Out, bsz)
 }
 
 // inputGradBatch computes gin = grad·W through a freshly transposed weight
-// copy: with Wᵀ stored in x out, each input gradient is a sequential dot
-// product, and 4-way sample blocking reuses every Wᵀ row across four
-// samples from registers. The transpose costs one in·out pass per batched
-// backward — 1/bsz of the product it accelerates.
+// copy: with Wᵀ stored in x out, every input gradient becomes a sequential
+// dot product for the kernel set's sample-blocked matmul. The transpose
+// costs one in·out pass per batched backward — 1/bsz of the product it
+// accelerates.
 func (d *Dense) inputGradBatch(gin, grad Vec, bsz int) {
 	in, out := d.In, d.Out
 	w := d.W.Value
@@ -331,43 +202,7 @@ func (d *Dense) inputGradBatch(gin, grad Vec, bsz int) {
 			}
 		}
 	}
-	b0 := 0
-	for ; b0+4 <= bsz; b0 += 4 {
-		g0r := grad[b0*out : (b0+1)*out]
-		g1r := grad[(b0+1)*out : (b0+2)*out]
-		g2r := grad[(b0+2)*out : (b0+3)*out]
-		g3r := grad[(b0+3)*out : (b0+4)*out]
-		gi0 := gin[b0*in : (b0+1)*in]
-		gi1 := gin[(b0+1)*in : (b0+2)*in]
-		gi2 := gin[(b0+2)*in : (b0+3)*in]
-		gi3 := gin[(b0+3)*in : (b0+4)*in]
-		for i := 0; i < in; i++ {
-			wti := wt[i*out : (i+1)*out]
-			var a0, a1, a2, a3 float64
-			for o, wv := range wti {
-				a0 += g0r[o] * wv
-				a1 += g1r[o] * wv
-				a2 += g2r[o] * wv
-				a3 += g3r[o] * wv
-			}
-			gi0[i] = a0
-			gi1[i] = a1
-			gi2[i] = a2
-			gi3[i] = a3
-		}
-	}
-	for ; b0 < bsz; b0++ {
-		gr := grad[b0*out : (b0+1)*out]
-		gi := gin[b0*in : (b0+1)*in]
-		for i := 0; i < in; i++ {
-			wti := wt[i*out : (i+1)*out]
-			var a float64
-			for o, wv := range wti {
-				a += gr[o] * wv
-			}
-			gi[i] = a
-		}
-	}
+	kern.InputGrad(gin, grad, wt, in, out, bsz)
 }
 
 // Params returns the weight and bias parameters.

@@ -78,4 +78,32 @@
 // Equivalence between all tiers is enforced by property tests
 // (batch_test.go): identical outputs and ≤1e-12 gradient agreement across
 // randomized shapes, plus finite-difference checks on the batched kernels.
+//
+// # Kernel dispatch
+//
+// The four floating-point hot loops under the tiers above — the batched
+// Dense forward, the transposed-matmul input gradient, the weight-gradient
+// accumulation, and the fused Adam step — live in internal/nn/kernel as a
+// function Set selected once at process start: the portable pure-Go
+// reference set ("go", bit-for-bit the pre-dispatch engine), or a
+// CPUID-dispatched AVX2/FMA assembly set ("avx2") on supporting amd64
+// hosts. Every caller in this package funnels through the same
+// process-global set, so the selection never splits a process's arithmetic.
+//
+// What that means for numerical contracts:
+//
+//   - Bitwise-stable within a process, under either set: batch forward rows
+//     vs single-sample calls at every batch size, rollout determinism for a
+//     fixed (Seed, Workers), checkpoint resume, and the serve daemon's
+//     batched-vs-offline byte identity.
+//
+//   - ≤1e-12 relative across sets: the avx2 kernels reassociate reductions
+//     into 4-wide lanes and contract multiply-add pairs, so cross-set
+//     agreement is tolerance-based (property-tested in the kernel package,
+//     including tail shapes). Artifacts compared byte-for-byte across
+//     processes must therefore come from the same kernel set — automatic on
+//     one host, and forceable anywhere with MRSCH_KERNEL=go.
+//
+// MRSCH_KERNEL=go|avx2 forces a set (panicking at init if unsupported);
+// KernelName/KernelFeatures report what was selected for startup logs.
 package nn

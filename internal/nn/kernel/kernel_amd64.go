@@ -1,0 +1,210 @@
+//go:build amd64
+
+package kernel
+
+import "strings"
+
+// The avx2 set drives the same cache-blocking loop nests as the go set,
+// but the innermost loops are AVX2/FMA assembly (kernel_amd64.s): 4-row
+// fused dot products for the forward and input-gradient matmuls, 8/4-way
+// rank-1 axpy updates for the weight gradients, and a fully vectorized
+// Adam step. Every sample row still goes through the same primitives in
+// the same order regardless of bsz, preserving the batch-vs-single
+// bitwise row identity.
+
+//go:noescape
+func dot4(w *float64, stride int, x *float64, n int) (s0, s1, s2, s3 float64)
+
+//go:noescape
+func dot1(w, x *float64, n int) float64
+
+//go:noescape
+func axpy8(dst, x *float64, xstride int, gp *float64, gstride int, n int)
+
+//go:noescape
+func axpy4(dst, x *float64, xstride int, gp *float64, gstride int, n int)
+
+//go:noescape
+func axpy1(dst, x *float64, c float64, n int)
+
+//go:noescape
+func adamStep(val, grad, m, v *float64, n int, f, lr, beta1, beta2, a1, a2, invB1c, invB2c, eps float64)
+
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)
+
+// hasAVX2FMA reports whether the CPU and OS support the avx2 set: AVX2 and
+// FMA instruction sets, plus OS-managed YMM state (OSXSAVE and XCR0 bits
+// 1-2). Returns the detected feature names for the startup log.
+func hasAVX2FMA() (ok bool, feats []string) {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false, nil
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&fmaBit != 0 {
+		feats = append(feats, "fma")
+	}
+	if ecx1&avxBit != 0 {
+		feats = append(feats, "avx")
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	if ebx7&avx2Bit != 0 {
+		feats = append(feats, "avx2")
+	}
+	if ecx1&osxsaveBit == 0 {
+		return false, feats
+	}
+	xcr0, _ := xgetbv0()
+	const ymmState = 0x6 // XMM (bit 1) + YMM (bit 2) state enabled
+	if xcr0&ymmState != ymmState {
+		return false, feats
+	}
+	feats = append(feats, "osxsave")
+	ok = ecx1&fmaBit != 0 && ecx1&avxBit != 0 && ebx7&avx2Bit != 0
+	return ok, feats
+}
+
+// avx2Set and archFeatures are package-level variable initializers, not an
+// init() func: Go runs all variable initialization before any init(), so
+// kernel.go's selecting init() — which sorts earlier by file name — always
+// sees the probe's result regardless of init order.
+var avx2Set, archFeatures = func() (*Set, string) {
+	ok, feats := hasAVX2FMA()
+	if !ok {
+		return nil, strings.Join(feats, " ")
+	}
+	return &Set{
+		Name:         "avx2",
+		DenseForward: avx2DenseForward,
+		InputGrad:    avx2InputGrad,
+		AccumGrads:   avx2AccumGrads,
+		AdamStep:     avx2AdamStep,
+	}, strings.Join(feats, " ")
+}()
+
+func nativeSet() *Set     { return avx2Set }
+func cpuFeatures() string { return archFeatures }
+
+// avx2DenseForward mirrors goDenseForward's L1 tiling; each 4-output
+// microkernel is one dot4 call (4 weight rows at stride in against one
+// input row), remainder outputs go through dot1.
+func avx2DenseForward(dst, x, w, b []float64, in, out, bsz int) {
+	oblk := 2048 / in
+	oblk -= oblk % 4
+	if oblk < 4 {
+		oblk = 4
+	}
+	for ob := 0; ob < out; ob += oblk {
+		oe := ob + oblk
+		if oe > out {
+			oe = out
+		}
+		for bi := 0; bi < bsz; bi++ {
+			xr := x[bi*in : (bi+1)*in]
+			dr := dst[bi*out : (bi+1)*out]
+			o := ob
+			for ; o+4 <= oe; o += 4 {
+				s0, s1, s2, s3 := dot4(&w[o*in], in, &xr[0], in)
+				dr[o] = s0 + b[o]
+				dr[o+1] = s1 + b[o+1]
+				dr[o+2] = s2 + b[o+2]
+				dr[o+3] = s3 + b[o+3]
+			}
+			for ; o < oe; o++ {
+				dr[o] = dot1(&w[o*in], &xr[0], in) + b[o]
+			}
+		}
+	}
+}
+
+// avx2InputGrad computes gin = grad·W through the caller's transposed
+// weight copy: each Wᵀ row is dotted against four grad rows at once
+// (stride out), reusing the row from registers across the sample block.
+func avx2InputGrad(gin, grad, wt []float64, in, out, bsz int) {
+	b0 := 0
+	for ; b0+4 <= bsz; b0 += 4 {
+		gi0 := gin[b0*in : (b0+1)*in]
+		gi1 := gin[(b0+1)*in : (b0+2)*in]
+		gi2 := gin[(b0+2)*in : (b0+3)*in]
+		gi3 := gin[(b0+3)*in : (b0+4)*in]
+		g := &grad[b0*out]
+		for i := 0; i < in; i++ {
+			s0, s1, s2, s3 := dot4(g, out, &wt[i*out], out)
+			gi0[i] = s0
+			gi1[i] = s1
+			gi2[i] = s2
+			gi3[i] = s3
+		}
+	}
+	for ; b0 < bsz; b0++ {
+		gr := grad[b0*out : (b0+1)*out]
+		gi := gin[b0*in : (b0+1)*in]
+		for i := 0; i < in; i++ {
+			gi[i] = dot1(&gr[0], &wt[i*out], out)
+		}
+	}
+}
+
+// avx2AccumGrads keeps the go set's 8/4-way sample blocking and its
+// zero-coefficient row skip (masked temporal offsets zero whole gradient
+// columns); the merged rank-1 updates run through axpy8/axpy4, which
+// broadcast the strided coefficients in registers.
+func avx2AccumGrads(gw, gb, grad, x []float64, in, out, bsz int) {
+	for o := 0; o < out; o++ {
+		var s float64
+		for b := 0; b < bsz; b++ {
+			s += grad[b*out+o]
+		}
+		gb[o] += s
+	}
+	b0 := 0
+	for ; b0+8 <= bsz; b0 += 8 {
+		base := b0 * out
+		for o := 0; o < out; o++ {
+			if grad[base+o] == 0 && grad[base+out+o] == 0 &&
+				grad[base+2*out+o] == 0 && grad[base+3*out+o] == 0 &&
+				grad[base+4*out+o] == 0 && grad[base+5*out+o] == 0 &&
+				grad[base+6*out+o] == 0 && grad[base+7*out+o] == 0 {
+				continue
+			}
+			axpy8(&gw[o*in], &x[b0*in], in, &grad[base+o], out, in)
+		}
+	}
+	for ; b0+4 <= bsz; b0 += 4 {
+		base := b0 * out
+		for o := 0; o < out; o++ {
+			if grad[base+o] == 0 && grad[base+out+o] == 0 &&
+				grad[base+2*out+o] == 0 && grad[base+3*out+o] == 0 {
+				continue
+			}
+			axpy4(&gw[o*in], &x[b0*in], in, &grad[base+o], out, in)
+		}
+	}
+	for ; b0 < bsz; b0++ {
+		gr := grad[b0*out : (b0+1)*out]
+		xr := x[b0*in : (b0+1)*in]
+		for o, g := range gr {
+			if g == 0 {
+				continue
+			}
+			axpy1(&gw[o*in], &xr[0], g, in)
+		}
+	}
+}
+
+// avx2AdamStep runs the fused update fully vectorized, including the
+// square root and divide (VSQRTPD/VDIVPD).
+func avx2AdamStep(val, grad, m, v []float64, f, lr, beta1, beta2, a1, a2, invB1c, invB2c, eps float64) {
+	if len(val) == 0 {
+		return
+	}
+	adamStep(&val[0], &grad[0], &m[0], &v[0], len(val), f, lr, beta1, beta2, a1, a2, invB1c, invB2c, eps)
+}

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package kernel
+
+// No accelerated kernel set exists for this architecture; the portable
+// reference set is the only (and therefore the native-equivalent) choice.
+
+func nativeSet() *Set     { return nil }
+func cpuFeatures() string { return "" }

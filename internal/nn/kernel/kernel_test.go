@@ -1,0 +1,314 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// tol is the cross-set agreement bound from the package contract: sets may
+// differ by lane reassociation and FMA contraction only, so even the paper-
+// scale reductions stay far inside 1e-12 relative error.
+const tol = 1e-12
+
+func fill(r *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = r.NormFloat64()
+	}
+	return s
+}
+
+func within(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", what, len(got), len(want))
+	}
+	for i := range want {
+		d := math.Abs(got[i] - want[i])
+		scale := math.Abs(want[i])
+		if scale < 1 {
+			scale = 1
+		}
+		if d > tol*scale {
+			t.Fatalf("%s[%d]: got %v want %v (rel err %.3g > %.0g)",
+				what, i, got[i], want[i], d/scale, tol)
+		}
+	}
+}
+
+// Shapes deliberately include sizes off every internal stride: below the
+// 4-wide vector width, straddling the 4-way/8-way unrolls, and crossing the
+// forward kernel's output tile.
+var (
+	testDims = []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 17, 31, 33, 64, 130}
+	testBsz  = []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 33}
+)
+
+// TestCrossSetAgreement property-tests every accelerated set against the
+// Reference set on random tensors at tail shapes, for all four kernels.
+func TestCrossSetAgreement(t *testing.T) {
+	native := Native()
+	if native == nil {
+		t.Skip("no accelerated kernel set on this host")
+	}
+	r := rand.New(rand.NewSource(1))
+	for _, in := range testDims {
+		for _, out := range testDims {
+			for _, bsz := range testBsz {
+				x := fill(r, bsz*in)
+				w := fill(r, out*in)
+				b := fill(r, out)
+				grad := fill(r, bsz*out)
+				// Zero some gradient columns and one full sample so the
+				// zero-skip paths in AccumGrads are exercised too.
+				for o := 0; o < out; o += 3 {
+					for bi := 0; bi < bsz; bi++ {
+						grad[bi*out+o] = 0
+					}
+				}
+				for o := 0; o < out; o++ {
+					grad[(bsz-1)*out+o] = 0
+				}
+				wt := make([]float64, in*out)
+				for o := 0; o < out; o++ {
+					for i := 0; i < in; i++ {
+						wt[i*out+o] = w[o*in+i]
+					}
+				}
+
+				dstG := make([]float64, bsz*out)
+				dstN := make([]float64, bsz*out)
+				Reference.DenseForward(dstG, x, w, b, in, out, bsz)
+				native.DenseForward(dstN, x, w, b, in, out, bsz)
+
+				ginG := make([]float64, bsz*in)
+				ginN := make([]float64, bsz*in)
+				Reference.InputGrad(ginG, grad, wt, in, out, bsz)
+				native.InputGrad(ginN, grad, wt, in, out, bsz)
+
+				gwG := fill(r, out*in)
+				gbG := fill(r, out)
+				gwN := append([]float64(nil), gwG...)
+				gbN := append([]float64(nil), gbG...)
+				Reference.AccumGrads(gwG, gbG, grad, x, in, out, bsz)
+				native.AccumGrads(gwN, gbN, grad, x, in, out, bsz)
+
+				what := fmt.Sprintf("in=%d out=%d bsz=%d forward", in, out, bsz)
+				within(t, what, dstN, dstG)
+				within(t, fmt.Sprintf("in=%d out=%d bsz=%d inputgrad", in, out, bsz), ginN, ginG)
+				within(t, fmt.Sprintf("in=%d out=%d bsz=%d gw", in, out, bsz), gwN, gwG)
+				within(t, fmt.Sprintf("in=%d out=%d bsz=%d gb", in, out, bsz), gbN, gbG)
+			}
+		}
+	}
+}
+
+// TestCrossSetAdam compares the fused Adam step across sets, including the
+// gradient-zeroing side effect and moment updates, at tail lengths.
+func TestCrossSetAdam(t *testing.T) {
+	native := Native()
+	if native == nil {
+		t.Skip("no accelerated kernel set on this host")
+	}
+	r := rand.New(rand.NewSource(2))
+	const (
+		lr, beta1, beta2, eps = 3e-4, 0.9, 0.999, 1e-8
+	)
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 63, 64, 65, 1000} {
+		for _, f := range []float64{1, 0.37} {
+			valG := fill(r, n)
+			gradG := fill(r, n)
+			mG := fill(r, n)
+			vG := make([]float64, n)
+			for i := range vG {
+				vG[i] = math.Abs(r.NormFloat64()) // second moment is nonnegative
+			}
+			valN := append([]float64(nil), valG...)
+			gradN := append([]float64(nil), gradG...)
+			mN := append([]float64(nil), mG...)
+			vN := append([]float64(nil), vG...)
+
+			t8 := 8.0
+			invB1c := 1 / (1 - math.Pow(beta1, t8))
+			invB2c := 1 / (1 - math.Pow(beta2, t8))
+			Reference.AdamStep(valG, gradG, mG, vG, f, lr, beta1, beta2, 1-beta1, 1-beta2, invB1c, invB2c, eps)
+			native.AdamStep(valN, gradN, mN, vN, f, lr, beta1, beta2, 1-beta1, 1-beta2, invB1c, invB2c, eps)
+
+			what := fmt.Sprintf("n=%d f=%v", n, f)
+			within(t, what+" val", valN, valG)
+			within(t, what+" m", mN, mG)
+			within(t, what+" v", vN, vG)
+			for i, g := range gradN {
+				if g != 0 {
+					t.Fatalf("%s: grad[%d] = %v, want 0 after fused zeroing", what, i, g)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRowIdentity checks the contract the serve daemon's byte-identity
+// suite rides on: under a fixed set, forward row k of a batch is bitwise
+// identical to the same sample pushed through bsz=1, at every batch size.
+func TestBatchRowIdentity(t *testing.T) {
+	for _, name := range Names() {
+		s, err := Select(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(3))
+			for _, in := range []int{3, 17, 64, 130} {
+				for _, out := range []int{1, 5, 32, 130} {
+					for _, bsz := range testBsz {
+						x := fill(r, bsz*in)
+						w := fill(r, out*in)
+						b := fill(r, out)
+						batch := make([]float64, bsz*out)
+						s.DenseForward(batch, x, w, b, in, out, bsz)
+						single := make([]float64, out)
+						for bi := 0; bi < bsz; bi++ {
+							s.DenseForward(single, x[bi*in:(bi+1)*in], w, b, in, out, 1)
+							for o := 0; o < out; o++ {
+								if batch[bi*out+o] != single[o] {
+									t.Fatalf("in=%d out=%d bsz=%d row %d out %d: batch %v != single %v (must be bitwise identical)",
+										in, out, bsz, bi, o, batch[bi*out+o], single[o])
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSelect(t *testing.T) {
+	if s, err := Select("go"); err != nil || s != Reference {
+		t.Fatalf("Select(go) = %v, %v; want Reference", s, err)
+	}
+	auto, err := Select("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := Native(); n != nil {
+		if auto != n {
+			t.Fatalf("Select(auto) = %q with native available; want %q", auto.Name, n.Name)
+		}
+		if s, err := Select(n.Name); err != nil || s != n {
+			t.Fatalf("Select(%q) = %v, %v; want native set", n.Name, s, err)
+		}
+	} else if auto != Reference {
+		t.Fatalf("Select(auto) = %q without native set; want go", auto.Name)
+	}
+	if _, err := Select("sse9"); err == nil {
+		t.Fatal("Select(sse9): want error for unknown set, got nil")
+	}
+	if Active() == nil || Name() == "" {
+		t.Fatal("no active set after init")
+	}
+	// Init-order regression: with no override, the selecting init must have
+	// seen the arch probe's result (variable initialization precedes init()),
+	// so the native set — when one exists — is what actually went live.
+	switch forced := os.Getenv("MRSCH_KERNEL"); {
+	case forced != "" && forced != "auto":
+		if Active().Name != forced {
+			t.Fatalf("Active() = %q with MRSCH_KERNEL=%q", Active().Name, forced)
+		}
+	case Native() != nil:
+		if Active() != Native() {
+			t.Fatalf("Active() = %q but native set %q exists and no override is set", Active().Name, Native().Name)
+		}
+	default:
+		if Active() != Reference {
+			t.Fatalf("Active() = %q with no native set", Active().Name)
+		}
+	}
+	if Features() == "" {
+		t.Fatal(`Features() = ""; want detected features or "none"`)
+	}
+	names := Names()
+	if len(names) == 0 || names[0] != "go" {
+		t.Fatalf("Names() = %v; want reference first", names)
+	}
+}
+
+// benchShapes mirror the engine's real call sites: the MRSch default model's
+// wide first layer and the serve batch path.
+func benchSets() []*Set {
+	sets := []*Set{Reference}
+	if n := Native(); n != nil {
+		sets = append(sets, n)
+	}
+	return sets
+}
+
+func BenchmarkDenseKernels(b *testing.B) {
+	const in, out, bsz = 746, 128, 16
+	r := rand.New(rand.NewSource(4))
+	x := fill(r, bsz*in)
+	w := fill(r, out*in)
+	bias := fill(r, out)
+	wt := make([]float64, in*out)
+	for o := 0; o < out; o++ {
+		for i := 0; i < in; i++ {
+			wt[i*out+o] = w[o*in+i]
+		}
+	}
+	dst := make([]float64, bsz*out)
+	grad := fill(r, bsz*out)
+	gin := make([]float64, bsz*in)
+	gw := make([]float64, out*in)
+	gb := make([]float64, out)
+	for _, s := range benchSets() {
+		b.Run("Forward/"+s.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.DenseForward(dst, x, w, bias, in, out, bsz)
+			}
+		})
+		b.Run("InputGrad/"+s.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.InputGrad(gin, grad, wt, in, out, bsz)
+			}
+		})
+		b.Run("AccumGrads/"+s.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.AccumGrads(gw, gb, grad, x, in, out, bsz)
+			}
+		})
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	const n = 746 * 128
+	r := rand.New(rand.NewSource(5))
+	val := fill(r, n)
+	grad0 := fill(r, n)
+	grad := append([]float64(nil), grad0...)
+	m := fill(r, n)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Abs(r.NormFloat64())
+	}
+	for _, s := range benchSets() {
+		b.Run(s.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Refill the gradient outside the timer: the kernel zeroes it,
+				// and stepping on all-zero gradients decays the moments into
+				// denormal range, which benchmarks sqrt/divide microcode
+				// assists instead of the kernel.
+				b.StopTimer()
+				copy(grad, grad0)
+				b.StartTimer()
+				s.AdamStep(val, grad, m, v, 1, 3e-4, 0.9, 0.999, 0.1, 0.001, 1.2, 1.05, 1e-8)
+			}
+		})
+	}
+}

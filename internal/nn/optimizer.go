@@ -60,9 +60,11 @@ func NewAdam(lr float64) *Adam {
 	}
 }
 
-// Step implements Optimizer. The inner loop hoists the bias corrections
-// into reciprocal multiplies and fuses gradient zeroing, leaving one
-// unavoidable sqrt+divide per element.
+// Step implements Optimizer. The update runs through the active kernel
+// set's fused Adam kernel: bias corrections are hoisted into reciprocal
+// multiplies and gradient zeroing is fused into the same pass, leaving one
+// unavoidable sqrt+divide per element. Step is StepScaled with f=1, which
+// is bitwise the unscaled update (x*1.0 is exact for every float64).
 func (o *Adam) Step(params []*Param) {
 	o.t++
 	invB1c := 1 / (1 - math.Pow(o.Beta1, float64(o.t)))
@@ -76,16 +78,7 @@ func (o *Adam) Step(params []*Param) {
 			v = make(Vec, len(p.Value))
 			o.m[p], o.v[p] = m, v
 		}
-		grad, val := p.Grad, p.Value
-		for i := range val {
-			g := grad[i]
-			grad[i] = 0 // fused ZeroGrad: saves a second pass over Grad
-			mi := o.Beta1*m[i] + a1*g
-			vi := o.Beta2*v[i] + a2*g*g
-			m[i] = mi
-			v[i] = vi
-			val[i] -= o.LR * (mi * invB1c) / (math.Sqrt(vi*invB2c) + o.Eps)
-		}
+		kern.AdamStep(p.Value, p.Grad, m, v, 1, o.LR, o.Beta1, o.Beta2, a1, a2, invB1c, invB2c, o.Eps)
 	}
 }
 
@@ -113,16 +106,7 @@ func (o *Adam) StepScaled(params []*Param, scale, maxNorm float64) {
 				f = scale * (maxNorm / n)
 			}
 		}
-		grad, val := p.Grad, p.Value
-		for i := range val {
-			g := grad[i] * f
-			grad[i] = 0
-			mi := o.Beta1*m[i] + a1*g
-			vi := o.Beta2*v[i] + a2*g*g
-			m[i] = mi
-			v[i] = vi
-			val[i] -= o.LR * (mi * invB1c) / (math.Sqrt(vi*invB2c) + o.Eps)
-		}
+		kern.AdamStep(p.Value, p.Grad, m, v, f, o.LR, o.Beta1, o.Beta2, a1, a2, invB1c, invB2c, o.Eps)
 	}
 }
 

@@ -28,6 +28,9 @@
 //     core.EpisodeResult stream and the same final network weights, run
 //     after run, machine after machine (modulo dfp.Config.Workers, which
 //     shards gradient summation and has the same pin-it-explicitly rule).
+//     Cross-machine identity additionally requires the same nn kernel set
+//     on both hosts (internal/nn "Kernel dispatch"): sets agree to ≤1e-12,
+//     not bit-for-bit. MRSCH_KERNEL=go pins the portable set anywhere.
 //
 //  4. Workers=1 reproduces TrainSerial, the retained inline reference loop,
 //     exactly — the analogue of dfp.TrainStepReference for the batched

@@ -22,7 +22,11 @@
 //     uses (protocol.go), and the batched forward pass is row-wise bitwise
 //     identical to the single-sample path (dfp.BatchDecider; see
 //     internal/dfp/decide.go for the kernel argument). The
-//     serve-equivalence suite enforces this at batch sizes {1, 4, max}.
+//     serve-equivalence suite enforces this at batch sizes {1, 4, max},
+//     under whichever nn kernel set the process selected — the row-identity
+//     argument holds per set, and one process never mixes sets. Comparing
+//     served decisions against picks computed in another process requires
+//     the same kernel set on both sides (internal/nn "Kernel dispatch").
 //
 //  2. Admission batching is invisible. Concurrent requests coalesce into
 //     one batched forward pass — the first request of a batch waits at most
