@@ -71,6 +71,12 @@
 // without the surrounding timing lines) to FILE, so two runs can be
 // compared byte-for-byte.
 //
+// -telemetry-addr ADDR exposes live campaign metrics (training and, with
+// -workers, coordinator counters) plus /health and pprof over HTTP, and
+// -journal FILE appends run events as JSONL. Both are observe-only
+// (rollout rule 11, distrib rule 10): campaign tables are byte-identical
+// with or without them.
+//
 // -prune garbage-collects the -checkpoint model store: entries whose
 // content-addressed name no builtin campaign (at any builtin scale, either
 // training mode, the trained-method axis included) can produce are
@@ -92,6 +98,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/nn"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -113,11 +120,14 @@ func main() {
 	dryRun := flag.Bool("dry-run", false, "with -campaign: validate and print the grid without running; with -prune: list without deleting")
 	reportFlag := flag.String("report", "", "campaign mode: also write the campaign table to this file (byte-comparable across runs)")
 	pruneFlag := flag.Bool("prune", false, "garbage-collect the -checkpoint model store against the builtin-campaign keep-set")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /health, and pprof over HTTP at this address (empty = off)")
+	journalPath := flag.String("journal", "", "append run events as JSONL to this file (empty = off)")
 	flag.Parse()
 
 	// Kernel-set attribution goes to stderr only: worker mode speaks the
 	// distrib frame protocol on stdout, which must stay clean.
-	fmt.Fprintf(os.Stderr, "mrsch-exp: kernel set %s (cpu features: %s)\n", nn.KernelName(), nn.KernelFeatures())
+	logger := telemetry.NewLogger(os.Stderr, "mrsch-exp")
+	logger.Event("kernel", "set", nn.KernelName(), "features", nn.KernelFeatures())
 
 	if *workerFlag {
 		runWorker(*connectFlag)
@@ -126,6 +136,30 @@ func main() {
 	if *listFlag {
 		printRegistry()
 		return
+	}
+
+	// Telemetry is observe-only end to end (rollout rule 11, distrib rule
+	// 10): campaign and figure results are identical with or without it.
+	var tel telemetrySinks
+	if *telemetryAddr != "" {
+		reg := telemetry.NewRegistry()
+		tsrv, err := telemetry.ListenAndServe(*telemetryAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrsch-exp: -telemetry-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer tsrv.Close()
+		logger.Event("telemetry", "addr", tsrv.Addr())
+		tel.reg = reg
+	}
+	if *journalPath != "" {
+		j, err := telemetry.OpenJournal(*journalPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrsch-exp: -journal: %v\n", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		tel.journal = j
 	}
 
 	// A negative -parallel used to fall back to all cores silently via the
@@ -186,7 +220,7 @@ func main() {
 			faultPlan: *faultFlag,
 			dryRun:    *dryRun,
 			report:    *reportFlag,
-		})
+		}, tel)
 		return
 	}
 	if *checkpoint != "" {
@@ -198,7 +232,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	runFigures(scaleSpec, *figFlag, *parallel, *pipeline)
+	runFigures(scaleSpec, *figFlag, *parallel, *pipeline, tel)
+}
+
+// telemetrySinks carries the process-wide telemetry knobs (-telemetry-addr,
+// -journal) into campaign and figure runs.
+type telemetrySinks struct {
+	reg     *telemetry.Registry
+	journal *telemetry.Journal
 }
 
 // runWorker is the -worker entry point: serve the distributed campaign
@@ -265,7 +306,7 @@ type distConfig struct {
 // runCampaign resolves a builtin name or spec file and runs it. A spec
 // file carries its own scale, so an explicit -scale is rejected rather
 // than silently ignored; an explicit -seed overrides the file's seed.
-func runCampaign(ref string, scaleSpec scenario.ScaleSpec, parallel int, pipeline bool, checkpoint string, resume bool, scaleSet, seedSet bool, seed int64, dist distConfig) {
+func runCampaign(ref string, scaleSpec scenario.ScaleSpec, parallel int, pipeline bool, checkpoint string, resume bool, scaleSet, seedSet bool, seed int64, dist distConfig, tel telemetrySinks) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "mrsch-exp: %v\n", err)
 		os.Exit(1)
@@ -303,6 +344,8 @@ func runCampaign(ref string, scaleSpec scenario.ScaleSpec, parallel int, pipelin
 		ModelDir:      checkpoint,
 		CheckpointDir: checkpoint,
 		Resume:        resume,
+		Metrics:       tel.reg,
+		Journal:       tel.journal,
 	}
 	if checkpoint != "" {
 		opt.OnModel = func(family, action, path string) {
@@ -316,7 +359,7 @@ func runCampaign(ref string, scaleSpec scenario.ScaleSpec, parallel int, pipelin
 	}
 	var results []experiments.CellResult
 	if dist.workers > 0 {
-		results, err = runDistributed(spec, opt, dist)
+		results, err = runDistributed(spec, opt, dist, tel)
 	} else {
 		results, err = experiments.RunCampaign(spec, opt)
 	}
@@ -335,7 +378,7 @@ func runCampaign(ref string, scaleSpec scenario.ScaleSpec, parallel int, pipelin
 
 // runDistributed runs the campaign through the internal/distrib coordinator
 // over worker processes (spawned, or dialing in over TCP with -listen).
-func runDistributed(spec scenario.CampaignSpec, opt experiments.CampaignOptions, dist distConfig) ([]experiments.CellResult, error) {
+func runDistributed(spec scenario.CampaignSpec, opt experiments.CampaignOptions, dist distConfig, tel telemetrySinks) ([]experiments.CellResult, error) {
 	var faults distrib.Faults
 	if dist.faultPlan != "" {
 		f, err := os.Open(dist.faultPlan)
@@ -362,8 +405,10 @@ func runDistributed(spec scenario.CampaignSpec, opt experiments.CampaignOptions,
 		pool = &distrib.ProcPool{Args: []string{"-worker"}, N: dist.workers}
 	}
 	dopt := distrib.Options{
-		Seed:   spec.Scale.Seed,
-		Faults: faults,
+		Seed:    spec.Scale.Seed,
+		Faults:  faults,
+		Metrics: tel.reg,
+		Journal: tel.journal,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "mrsch-exp: "+format+"\n", args...)
 		},
@@ -427,10 +472,12 @@ func printRegistry() {
 }
 
 // runFigures reproduces the paper figures (the legacy mode).
-func runFigures(scaleSpec scenario.ScaleSpec, figs string, parallel int, pipeline bool) {
+func runFigures(scaleSpec scenario.ScaleSpec, figs string, parallel int, pipeline bool, tel telemetrySinks) {
 	sc := experiments.ScaleFromSpec(scaleSpec)
 	sc.RolloutWorkers = parallel
 	sc.Pipelined = pipeline
+	sc.Metrics = tel.reg
+	sc.Journal = tel.journal
 
 	want := map[string]bool{}
 	if figs == "all" {

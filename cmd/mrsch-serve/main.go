@@ -15,6 +15,12 @@
 // The daemon drains gracefully on SIGINT/SIGTERM: admitted requests are
 // answered before their connections close.
 //
+// -telemetry-addr ADDR exposes live serving metrics (decision and batch
+// counters, batch-size and latency histograms, model version) plus /health
+// and pprof over HTTP, and -journal FILE appends model-swap JSONL events;
+// both are contract-neutral (serve package doc, rule 7), so served decision
+// bytes are identical with or without them.
+//
 // The same binary is the load generator:
 //
 //	mrsch-serve -loadgen -connect host:7643 [-clients 4] [-requests 100] [-rate 0] [-workload S1] [-scale quick]
@@ -38,6 +44,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/nn"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -52,6 +59,8 @@ func main() {
 	requests := flag.Int("requests", 100, "loadgen: requests per client")
 	rate := flag.Float64("rate", 0, "loadgen: per-client request rate in req/s (0 = closed loop)")
 	wl := flag.String("workload", "S1", "loadgen: Table III workload whose trace seeds the request pool")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /health, and pprof over HTTP at this address (empty = off)")
+	journalPath := flag.String("journal", "", "append daemon events (model swaps) as JSONL to this file (empty = off)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -72,7 +81,7 @@ func main() {
 		}
 		return
 	}
-	if err := runDaemon(sc, *model, *listen, *maxBatch, *maxWait); err != nil {
+	if err := runDaemon(sc, *model, *listen, *maxBatch, *maxWait, *telemetryAddr, *journalPath); err != nil {
 		fmt.Fprintf(os.Stderr, "mrsch-serve: %v\n", err)
 		os.Exit(1)
 	}
@@ -80,7 +89,29 @@ func main() {
 
 // runDaemon serves decisions until SIGINT/SIGTERM, hot-swapping the model
 // file on SIGHUP.
-func runDaemon(sc experiments.Scale, model, listen string, maxBatch int, maxWait time.Duration) error {
+func runDaemon(sc experiments.Scale, model, listen string, maxBatch int, maxWait time.Duration, telemetryAddr, journalPath string) error {
+	logger := telemetry.NewLogger(os.Stderr, "mrsch-serve")
+	// Telemetry is contract-neutral (serve doc rule 7): both knobs are
+	// plain opt-ins that cannot perturb decision bytes.
+	var reg *telemetry.Registry
+	if telemetryAddr != "" {
+		reg = telemetry.NewRegistry()
+		tsrv, err := telemetry.ListenAndServe(telemetryAddr, reg)
+		if err != nil {
+			return fmt.Errorf("-telemetry-addr: %w", err)
+		}
+		defer tsrv.Close()
+		logger.Event("telemetry", "addr", tsrv.Addr())
+	}
+	var journal *telemetry.Journal
+	if journalPath != "" {
+		j, err := telemetry.OpenJournal(journalPath)
+		if err != nil {
+			return fmt.Errorf("-journal: %w", err)
+		}
+		defer j.Close()
+		journal = j
+	}
 	// The agent must be built with the exact architecture mrsch-train
 	// used, or the weight file will not load.
 	agent := experiments.NewMRSchUntrained(sc, false)
@@ -101,6 +132,8 @@ func runDaemon(sc experiments.Scale, model, listen string, maxBatch int, maxWait
 	srv, err := serve.NewServer(agent, sys, serve.Config{
 		MaxBatch: maxBatch,
 		MaxWait:  maxWait,
+		Metrics:  reg,
+		Journal:  journal,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -112,9 +145,9 @@ func runDaemon(sc experiments.Scale, model, listen string, maxBatch int, maxWait
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "mrsch-serve: kernel set %s (cpu features: %s)\n", nn.KernelName(), nn.KernelFeatures())
-	fmt.Printf("mrsch-serve: serving %s decisions on %s (window %d, model version %d, max batch %d, max wait %s, kernel %s)\n",
-		sys.Name, ln.Addr(), agent.Enc.Window, srv.ModelVersion(), maxBatch, maxWait, nn.KernelName())
+	logger.Event("kernel", "set", nn.KernelName(), "features", nn.KernelFeatures())
+	logger.Event("serving", "system", sys.Name, "addr", ln.Addr(), "window", agent.Enc.Window,
+		"model_version", srv.ModelVersion(), "max_batch", maxBatch, "max_wait", maxWait, "kernel", nn.KernelName())
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)

@@ -35,6 +35,12 @@
 // state, so a resumed validated run keeps a best model found before the
 // interruption; validated and plain checkpoints use distinct keys and
 // never resume each other's files.
+//
+// -telemetry-addr ADDR exposes live training metrics (round and episode
+// counters, gradient-step latency, replay occupancy) plus /health and pprof
+// over HTTP, and -journal FILE appends per-round JSONL events; both are
+// observe-only (rollout package doc, rule 11), so instrumented runs stay
+// bitwise identical to bare ones.
 package main
 
 import (
@@ -47,6 +53,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/rollout"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -60,11 +67,14 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "directory for round-boundary training checkpoints (empty = no checkpointing)")
 	checkpointEvery := flag.Int("checkpoint-every", 1, "write a checkpoint every N round boundaries (the final boundary always writes)")
 	resume := flag.Bool("resume", false, "resume from the checkpoint in -checkpoint if one exists (requires identical flags)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /health, and pprof over HTTP at this address (empty = off)")
+	journalPath := flag.String("journal", "", "append run events as JSONL to this file (empty = off)")
 	flag.Parse()
 
 	// Attribute every run to its kernel set up front (MRSCH_KERNEL forces
 	// one; see internal/nn/kernel).
-	fmt.Fprintf(os.Stderr, "mrsch-train: kernel set %s (cpu features: %s)\n", nn.KernelName(), nn.KernelFeatures())
+	logger := telemetry.NewLogger(os.Stderr, "mrsch-train")
+	logger.Event("kernel", "set", nn.KernelName(), "features", nn.KernelFeatures())
 
 	// Flag combinations fail loudly: a negative -parallel used to fall back
 	// to all cores silently (the rollout.ResolveWorkers n<=0 convention),
@@ -111,6 +121,29 @@ func main() {
 	sc.CheckpointDir = *checkpoint
 	sc.CheckpointEvery = *checkpointEvery
 	sc.Resume = *resume
+
+	// Telemetry is observe-only (rollout doc rule 11): wiring it cannot
+	// perturb the run, so both knobs are plain opt-ins.
+	if *telemetryAddr != "" {
+		reg := telemetry.NewRegistry()
+		tsrv, err := telemetry.ListenAndServe(*telemetryAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrsch-train: -telemetry-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer tsrv.Close()
+		logger.Event("telemetry", "addr", tsrv.Addr())
+		sc.Metrics = reg
+	}
+	if *journalPath != "" {
+		j, err := telemetry.OpenJournal(*journalPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrsch-train: -journal: %v\n", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		sc.Journal = j
+	}
 	resumedAt := 0
 	sc.OnCheckpoint = func(action string, episodes int) {
 		if action == "resume" {

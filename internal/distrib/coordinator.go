@@ -13,6 +13,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/rollout"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 // The coordinator: expands a campaign into cells, shards them over a pool of
@@ -58,6 +59,13 @@ type Options struct {
 	// OnEvent observes every scheduling decision; Logf gets progress lines.
 	OnEvent func(Event)
 	Logf    func(format string, args ...any)
+	// Metrics, when set, receives the distrib_* counters (heartbeats,
+	// assignments, requeues, worker deaths, fallbacks, late results).
+	// Telemetry is observe-only and cannot perturb scheduling (rule 10).
+	Metrics *telemetry.Registry
+	// Journal, when set, mirrors every scheduling Event as one JSONL line
+	// (event "distrib_<kind>" with worker/cell/attempt fields).
+	Journal *telemetry.Journal
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +110,11 @@ const (
 	EventRequeue EventKind = "requeue"
 	// EventFallback: a cell was evaluated in-process by the coordinator.
 	EventFallback EventKind = "fallback"
+	// EventLateResult: a result from a severed (presumed-dead) worker was
+	// accepted and collated — the worker resurrected after its sever.
+	// Emitted alongside the cell's EventResult for visibility (rule 2's
+	// late-acceptance path used to be silent).
+	EventLateResult EventKind = "late-result"
 )
 
 // Event is one observed scheduling decision. Cell is -1 when the event is
@@ -144,8 +157,36 @@ type pendingCell struct {
 	notBefore time.Time
 }
 
+// distribMetrics caches the coordinator's counters at wire-up time. With a
+// nil registry they are live orphans; either way the event loop schedules
+// identically (rule 10).
+type distribMetrics struct {
+	heartbeats   *telemetry.Counter
+	assigns      *telemetry.Counter
+	results      *telemetry.Counter
+	duplicates   *telemetry.Counter
+	requeues     *telemetry.Counter
+	workerDeaths *telemetry.Counter
+	fallbacks    *telemetry.Counter
+	lateResults  *telemetry.Counter
+}
+
+func newDistribMetrics(reg *telemetry.Registry) distribMetrics {
+	return distribMetrics{
+		heartbeats:   reg.Counter("distrib_heartbeats_total"),
+		assigns:      reg.Counter("distrib_assigns_total"),
+		results:      reg.Counter("distrib_results_total"),
+		duplicates:   reg.Counter("distrib_duplicates_total"),
+		requeues:     reg.Counter("distrib_requeues_total"),
+		workerDeaths: reg.Counter("distrib_worker_deaths_total"),
+		fallbacks:    reg.Counter("distrib_fallback_cells_total"),
+		lateResults:  reg.Counter("distrib_late_results_total"),
+	}
+}
+
 type coordinator struct {
 	opt  Options
+	m    distribMetrics
 	run  *experiments.CampaignRun
 	spec scenario.CampaignSpec
 	fp   string
@@ -212,6 +253,7 @@ func Run(spec scenario.CampaignSpec, copt experiments.CampaignOptions, opt Optio
 
 	c := &coordinator{
 		opt:  opt,
+		m:    newDistribMetrics(opt.Metrics),
 		run:  run,
 		spec: spec,
 		fp:   fp,
@@ -346,9 +388,14 @@ func (c *coordinator) handleEvent(ev wevent) {
 	if !w.alive {
 		// A frame that raced the sever. A valid result for an uncollated
 		// cell is still a result — first valid result wins, whoever
-		// computed it (rule 2).
+		// computed it (rule 2) — but a resurrection must not be silent:
+		// if the late result collates, announce it (EventLateResult).
 		if m.Type == msgResult {
+			preDone := c.nDone
 			c.handleResult(w, m)
+			if c.nDone > preDone {
+				c.event(Event{Kind: EventLateResult, Worker: w.id, Cell: m.Cell})
+			}
 		}
 		return
 	}
@@ -370,7 +417,9 @@ func (c *coordinator) handleEvent(ev wevent) {
 		w.ready = true
 		w.idle = true
 	case msgHeartbeat:
-		// lastHeard already refreshed.
+		// lastHeard already refreshed. Heartbeats are counted but not
+		// journaled — they are liveness noise, not scheduling decisions.
+		c.m.heartbeats.Inc()
 	case msgResult:
 		c.handleResult(w, m)
 	case msgFatal:
@@ -586,8 +635,30 @@ func (c *coordinator) collate() ([]experiments.CellResult, error) {
 		c.spec.Name, len(cells), strings.Join(msgs, "; "))
 }
 
-// event forwards one scheduling decision to the observer and the log.
+// event forwards one scheduling decision to the observer, the counters,
+// the journal, and the log — every mirror is observe-only (rule 10).
 func (c *coordinator) event(ev Event) {
+	switch ev.Kind {
+	case EventAssign:
+		c.m.assigns.Inc()
+	case EventResult:
+		c.m.results.Inc()
+	case EventDuplicate:
+		c.m.duplicates.Inc()
+	case EventRequeue:
+		c.m.requeues.Inc()
+	case EventFallback:
+		c.m.fallbacks.Inc()
+	case EventLateResult:
+		c.m.lateResults.Inc()
+	case EventCorrupt, EventTimeout, EventWorkerDead:
+		c.m.workerDeaths.Inc()
+	}
+	if ev.Err != "" {
+		c.opt.Journal.Event("distrib_"+string(ev.Kind), "worker", ev.Worker, "cell", ev.Cell, "attempt", ev.Attempt, "error", ev.Err)
+	} else {
+		c.opt.Journal.Event("distrib_"+string(ev.Kind), "worker", ev.Worker, "cell", ev.Cell, "attempt", ev.Attempt)
+	}
 	if c.opt.OnEvent != nil {
 		c.opt.OnEvent(ev)
 	}

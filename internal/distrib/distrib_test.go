@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 // The fault-injection suite: every test runs a real campaign through the
@@ -79,6 +80,11 @@ func fastOptions(events *[]Event) Options {
 		BackoffMax:        5 * time.Millisecond,
 		Seed:              1,
 		OnEvent:           func(ev Event) { *events = append(*events, ev) },
+		// Every test coordinator runs with instruments and a journal
+		// active: rule 10 says telemetry cannot perturb scheduling, so the
+		// whole fault matrix doubles as its enforcement suite.
+		Metrics: telemetry.NewRegistry(),
+		Journal: telemetry.NewJournal(io.Discard),
 	}
 }
 

@@ -69,4 +69,15 @@
 //     each collated report equals the one RunCampaign would compute — so
 //     the rendered campaign table is byte-for-byte the same, faults or no
 //     faults.
+//
+//  10. Telemetry is contract-neutral. Wiring Options.Metrics/Options.Journal
+//     (internal/telemetry) mirrors the Event stream into counters and JSONL
+//     after each scheduling decision is made — atomic adds and buffered
+//     writes that never feed assignment, requeue, timeout, or collation
+//     logic — so rules 1-9, and rule 9's byte-identity in particular, hold
+//     with telemetry enabled. The fault-injection suite runs with
+//     instruments active to enforce this. A late result accepted from a
+//     severed worker (rule 2) additionally announces itself as
+//     EventLateResult, so resurrections are visible instead of silently
+//     collated.
 package distrib

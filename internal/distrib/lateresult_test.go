@@ -1,0 +1,64 @@
+package distrib
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/telemetry"
+)
+
+// The late-result path (rule 2's "a late result from a presumed-dead worker
+// is still accepted"): timing makes it nearly impossible to hit through the
+// fault matrix, so this white-box test feeds a coordinator a result frame
+// from an already-severed worker directly. The result must collate, and —
+// the rule 10 visibility fix — the resurrection must surface as an
+// EventLateResult and a distrib_late_results_total tick instead of being
+// silently folded into the grid.
+func TestLateResultFromSeveredWorkerIsVisible(t *testing.T) {
+	var events []Event
+	reg := telemetry.NewRegistry()
+	c := &coordinator{
+		opt: Options{
+			OnEvent: func(ev Event) { events = append(events, ev) },
+			Metrics: reg,
+		}.withDefaults(),
+		m:       newDistribMetrics(reg),
+		fp:      "test-fp",
+		results: make([]experiments.CellResult, 2),
+		done:    make([]bool, 2),
+		failed:  map[int]string{},
+		rng:     rand.New(rand.NewSource(1)),
+	}
+	w := &workerState{id: 3, alive: false, cell: -1}
+
+	late := &message{Type: msgResult, Fingerprint: "test-fp", Cell: 1}
+	c.handleEvent(wevent{w: w, msg: late})
+
+	if !c.done[1] || c.nDone != 1 {
+		t.Fatal("a late result for an uncollated cell must still collate (rule 2)")
+	}
+	if countKind(events, EventResult) != 1 {
+		t.Errorf("want 1 result event, got %v", events)
+	}
+	if countKind(events, EventLateResult) != 1 {
+		t.Errorf("want 1 late-result event announcing the resurrection, got %v", events)
+	}
+	counters := map[string]uint64{}
+	for _, cv := range reg.Snapshot().Counters {
+		counters[cv.Name] = cv.Value
+	}
+	if counters["distrib_late_results_total"] != 1 {
+		t.Errorf("distrib_late_results_total = %d, want 1", counters["distrib_late_results_total"])
+	}
+
+	// A second copy of the same frame is a duplicate (rule 2), not another
+	// resurrection.
+	c.handleEvent(wevent{w: w, msg: late})
+	if c.nDone != 1 {
+		t.Fatal("duplicate late result must not collate twice")
+	}
+	if countKind(events, EventDuplicate) != 1 || countKind(events, EventLateResult) != 1 {
+		t.Errorf("duplicate late result must surface as duplicate only, got %v", events)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/rollout"
 	"repro/internal/scenario"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 // This file runs declarative campaigns (internal/scenario): the spec's
@@ -68,6 +69,11 @@ type CampaignOptions struct {
 	// coordinator resolves every family model exactly once before cells fan
 	// out, so a cell retried on another worker can never retrain a model.
 	NoTrain bool
+	// Metrics/Journal wire telemetry through to the training harness
+	// (Scale.Metrics/Journal → rollout.Config). Observe-only; excluded
+	// from model-store keys like every other runtime knob.
+	Metrics *telemetry.Registry
+	Journal *telemetry.Journal
 }
 
 // CampaignRun holds the resolved state shared by a campaign's cells. All
@@ -98,6 +104,8 @@ func OpenCampaign(spec scenario.CampaignSpec, opt CampaignOptions) (*CampaignRun
 	baseScale.CheckpointDir = opt.CheckpointDir
 	baseScale.CheckpointEvery = opt.CheckpointEvery
 	baseScale.Resume = opt.Resume
+	baseScale.Metrics = opt.Metrics
+	baseScale.Journal = opt.Journal
 	if opt.ModelDir != "" {
 		if err := os.MkdirAll(opt.ModelDir, 0o755); err != nil {
 			return nil, fmt.Errorf("experiments: campaign %s: model store: %w", spec.Name, err)

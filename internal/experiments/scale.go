@@ -14,6 +14,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/rollout"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -71,6 +72,12 @@ type Scale struct {
 	// successful restore, episodes the cumulative episode count. Used by
 	// the cmd binaries for progress lines and by tests.
 	OnCheckpoint func(action string, episodes int)
+	// Metrics/Journal, when set, wire the training harness's telemetry
+	// (rollout.Config.Metrics/Journal). Runtime knobs like the rest of
+	// this block: observe-only (rollout doc rule 11) and never part of a
+	// spec, so they cannot perturb model-store keys or checkpoints.
+	Metrics *telemetry.Registry
+	Journal *telemetry.Journal
 }
 
 // ScaleFromSpec materializes a runnable Scale from its serializable sizing;
@@ -89,7 +96,13 @@ func (s Scale) Validate() error { return s.Spec().Validate() }
 
 // rolloutConfig derives the training-harness configuration for the scale.
 func (s Scale) rolloutConfig() rollout.Config {
-	return rollout.Config{Workers: s.RolloutWorkers, Seed: s.Seed + 7, Pipelined: s.Pipelined}
+	return rollout.Config{
+		Workers:   s.RolloutWorkers,
+		Seed:      s.Seed + 7,
+		Pipelined: s.Pipelined,
+		Metrics:   s.Metrics,
+		Journal:   s.Journal,
+	}
 }
 
 // QuickScale is the CI-sized campaign used by `go test` and the default

@@ -90,6 +90,15 @@
 //     the boundary's Publish, and why resumed pipelined runs skip the
 //     initial publish.
 //
+//  11. Telemetry is contract-neutral. Wiring Config.Metrics/Config.Journal
+//     (internal/telemetry) adds atomic instrument updates after each
+//     reduction and clock reads at round boundaries and around gradient
+//     steps — observation boundaries only, never inside rollout or
+//     reduction computation, and never feeding scheduling, seeding, or
+//     weight math — so rules 1-10, including checkpoint-resume bitwise
+//     equivalence, hold with telemetry enabled. The resume-equivalence
+//     suite runs with instruments active to enforce this.
+//
 // The serial paths retained elsewhere (core.TrainCurriculum and the
 // training-mode Act of dfp.Agent/rl.Scheduler) draw exploration and replay
 // sampling from one shared agent rng; the harness instead gives each episode

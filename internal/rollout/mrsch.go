@@ -2,11 +2,13 @@ package rollout
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dfp"
 	"repro/internal/job"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // mrschLearner adapts an MRSch agent to the harness: actors are
@@ -16,6 +18,13 @@ type mrschLearner struct {
 	m    *core.MRSch
 	cfg  core.TrainConfig
 	acfg dfp.Config // snapshot of the agent config (epsilon schedule)
+
+	// Instruments, wired by Instrument (rollout.Instrumented); nil-safe
+	// orphans until then, and `timed` gates the clock reads around
+	// gradient steps (observe-only: doc rule 11).
+	timed     bool
+	trainStep *telemetry.Histogram
+	replayOcc *telemetry.Gauge
 }
 
 // NewMRSchLearner adapts an MRSch agent for Train/TrainSerial. cfg follows
@@ -24,6 +33,14 @@ type mrschLearner struct {
 // benchmark), while 0 keeps the package default of 16.
 func NewMRSchLearner(m *core.MRSch, cfg core.TrainConfig) Learner {
 	return &mrschLearner{m: m, cfg: cfg, acfg: m.Agent.Config()}
+}
+
+// Instrument implements Instrumented: the adapter exports the DFP engine's
+// per-gradient-step latency and replay-buffer occupancy.
+func (l *mrschLearner) Instrument(reg *telemetry.Registry) {
+	l.timed = true
+	l.trainStep = reg.Histogram("dfp_train_step_ns")
+	l.replayOcc = reg.Gauge("dfp_replay_occupancy")
 }
 
 func (l *mrschLearner) Spawn() (Actor, bool) {
@@ -58,10 +75,23 @@ func (l *mrschLearner) Reduce(ep Episode, tr Transcript) (core.EpisodeResult, er
 	}
 	total, n := 0.0, 0
 	for i := 0; i < steps; i++ {
-		if loss := l.m.Agent.TrainStep(); loss >= 0 {
+		// The clock reads bracket TrainStep — an observation boundary —
+		// and happen only when instrumented; the step itself is untouched.
+		var t0 time.Time
+		if l.timed {
+			t0 = time.Now()
+		}
+		loss := l.m.Agent.TrainStep()
+		if l.timed {
+			l.trainStep.RecordDuration(time.Since(t0))
+		}
+		if loss >= 0 {
 			total += loss
 			n++
 		}
+	}
+	if l.timed {
+		l.replayOcc.Set(float64(l.m.Agent.ReplaySize()))
 	}
 	res := core.EpisodeResult{Set: ep.Set.Kind, Epsilon: l.m.Agent.Epsilon(), Loss: -1}
 	if n > 0 {

@@ -28,6 +28,7 @@ package rollout
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 )
@@ -91,6 +92,7 @@ func trainPipelined(l Learner, cfg Config, sets []core.JobSet) ([]core.EpisodeRe
 	if err := cfg.validateResume(w, n); err != nil {
 		return nil, err
 	}
+	m := newRolloutMetrics(l, cfg)
 	if cfg.Resume >= n {
 		return nil, nil // everything already reduced before the crash
 	}
@@ -127,6 +129,12 @@ func trainPipelined(l Learner, cfg Config, sets []core.JobSet) ([]core.EpisodeRe
 
 	results := make([]core.EpisodeResult, 0, n-cfg.Resume)
 	for {
+		// Clock reads sit at round boundaries only, and only when telemetry
+		// is wired — they never influence collection, reduction, or publish.
+		var t0 time.Time
+		if m.timed {
+			t0 = time.Now()
+		}
 		// Launch the next round against the current snapshot before
 		// reducing this one — the overlap that is the point of the mode.
 		var done chan struct{}
@@ -141,7 +149,7 @@ func trainPipelined(l Learner, cfg Config, sets []core.JobSet) ([]core.EpisodeRe
 		// Reduce the current round inline, in episode order.
 		var loopErr error
 		for i := 0; i < cur.cnt; i++ {
-			if results, loopErr = reduceEpisode(l, cfg, sets, cur.start+i, cur.trs[i], cur.errs[i], results); loopErr != nil {
+			if results, loopErr = reduceEpisode(l, cfg, m, sets, cur.start+i, cur.trs[i], cur.errs[i], results); loopErr != nil {
 				break
 			}
 		}
@@ -159,6 +167,11 @@ func trainPipelined(l Learner, cfg Config, sets []core.JobSet) ([]core.EpisodeRe
 		if err := runCheckpoint(cfg, cur.start+cur.cnt); err != nil {
 			return results, err
 		}
+		var dt time.Duration
+		if m.timed {
+			dt = time.Since(t0)
+		}
+		m.roundDone(cfg.Journal, cur.start+cur.cnt, cur.cnt, dt)
 		if done == nil {
 			return results, nil
 		}

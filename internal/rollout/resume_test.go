@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // The crash-resume equivalence suite: killing a training run at a round
@@ -46,6 +48,12 @@ func trainToCrash(t *testing.T, cfg Config, at int) ([]core.EpisodeResult, []byt
 	sys := testSystem()
 	sets := testSets(sys, 8, 25, 41)
 	m := testAgent(sys, 17)
+	// The crash and resume runs train with instruments and a journal live
+	// while the reference run (runReference) does not: equivalence of the
+	// final weights is then also the proof that telemetry is observe-only
+	// (doc rule 11).
+	cfg.Metrics = telemetry.NewRegistry()
+	cfg.Journal = telemetry.NewJournal(io.Discard)
 	var state bytes.Buffer
 	cfg.Checkpoint = func(done int) error {
 		if done != at {
@@ -80,6 +88,8 @@ func resumeFrom(t *testing.T, cfg Config, state []byte, from int) ([]core.Episod
 		t.Fatalf("resume: load state: %v", err)
 	}
 	cfg.Resume = from
+	cfg.Metrics = telemetry.NewRegistry()
+	cfg.Journal = telemetry.NewJournal(io.Discard)
 	results, err := Train(NewMRSchLearner(m, trainCfg(sys)), cfg, sets)
 	if err != nil {
 		t.Fatalf("resume from %d: %v", from, err)

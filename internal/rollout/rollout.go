@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the harness.
@@ -55,6 +57,14 @@ type Config struct {
 	// would re-collect part of a round against post-round weights and
 	// silently break bitwise equivalence.
 	Resume int
+	// Metrics, when set, receives the harness's rollout_* instruments
+	// (rounds, episodes, throughput, epsilon, loss) and is offered to the
+	// learner via the Instrumented extension. Telemetry is observe-only:
+	// results and weights are bitwise identical with and without it (doc
+	// rule 11).
+	Metrics *telemetry.Registry
+	// Journal, when set, receives one JSONL event per round boundary.
+	Journal *telemetry.Journal
 }
 
 // ResolveWorkers applies the package-wide worker-count default: n <= 0
@@ -151,11 +161,18 @@ func trainBarrier(l Learner, cfg Config, sets []core.JobSet) ([]core.EpisodeResu
 	if err := cfg.validateResume(w, n); err != nil {
 		return nil, err
 	}
+	m := newRolloutMetrics(l, cfg)
 
 	results := make([]core.EpisodeResult, 0, n-cfg.Resume)
 	trs := make([]Transcript, w)
 	errs := make([]error, w)
 	for start := cfg.Resume; start < n; start += w {
+		// Clock reads sit at round boundaries only, and only when telemetry
+		// is wired — they never influence collection or reduction.
+		var t0 time.Time
+		if m.timed {
+			t0 = time.Now()
+		}
 		cnt := w
 		if start+cnt > n {
 			cnt = n - start
@@ -165,13 +182,18 @@ func trainBarrier(l Learner, cfg Config, sets []core.JobSet) ([]core.EpisodeResu
 		})
 		for i := 0; i < cnt; i++ {
 			var err error
-			if results, err = reduceEpisode(l, cfg, sets, start+i, trs[i], errs[i], results); err != nil {
+			if results, err = reduceEpisode(l, cfg, m, sets, start+i, trs[i], errs[i], results); err != nil {
 				return results, err
 			}
 		}
 		if err := runCheckpoint(cfg, start+cnt); err != nil {
 			return results, err
 		}
+		var dt time.Duration
+		if m.timed {
+			dt = time.Since(t0)
+		}
+		m.roundDone(cfg.Journal, start+cnt, cnt, dt)
 	}
 	return results, nil
 }
@@ -209,7 +231,7 @@ func runCheckpoint(cfg Config, done int) error {
 // and trainPipelined, so the two modes cannot drift apart in error wrapping
 // or hook semantics; TrainSerial keeps its own inline copy as the
 // independent reference loop.
-func reduceEpisode(l Learner, cfg Config, sets []core.JobSet, idx int, tr Transcript, rollErr error, results []core.EpisodeResult) ([]core.EpisodeResult, error) {
+func reduceEpisode(l Learner, cfg Config, m rolloutMetrics, sets []core.JobSet, idx int, tr Transcript, rollErr error, results []core.EpisodeResult) ([]core.EpisodeResult, error) {
 	if rollErr != nil {
 		return results, fmt.Errorf("rollout: episode %d (%s): %w", idx, sets[idx].Kind, rollErr)
 	}
@@ -217,6 +239,7 @@ func reduceEpisode(l Learner, cfg Config, sets []core.JobSet, idx int, tr Transc
 	if err != nil {
 		return results, fmt.Errorf("rollout: reduce episode %d (%s): %w", idx, sets[idx].Kind, err)
 	}
+	m.episodeDone(r.Epsilon, r.Loss)
 	results = append(results, r)
 	if cfg.AfterEpisode != nil {
 		if err := cfg.AfterEpisode(idx, r); err != nil {

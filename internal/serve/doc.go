@@ -55,4 +55,12 @@
 //  6. Shutdown drains. After Shutdown begins, new connections and new
 //     requests are refused, but every already-admitted request is answered
 //     before its connection closes.
+//
+//  7. Telemetry is contract-neutral. Wiring Config.Metrics/Config.Journal
+//     (internal/telemetry) adds atomic instrument updates and
+//     observation-boundary clock reads around the batched forward pass —
+//     never inside it, and never feeding batching or pick computation — so
+//     rules 1-6 hold bit for bit with telemetry enabled. The
+//     serve-equivalence suite runs with instruments active to enforce
+//     this.
 package serve

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -10,6 +9,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // SampleRequests harvests realistic decision instants for load generation:
@@ -93,10 +93,13 @@ func RunLoadgen(opt LoadgenOptions) (LoadgenResult, error) {
 	}
 
 	type clientStats struct {
-		lat    []float64 // milliseconds
 		errors int
 		err    error // fatal (connection-level) failure
 	}
+	// All clients record round-trip times into one shared concurrent
+	// histogram; quantile extraction keeps the nearest-rank convention of
+	// the retired sort-based percentiles (see telemetry.HistSnapshot).
+	var lat telemetry.Histogram
 	stats := make([]clientStats, opt.Clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -117,7 +120,6 @@ func RunLoadgen(opt LoadgenOptions) (LoadgenResult, error) {
 			}
 			next := time.Now()
 			offset := k * len(opt.Trace) / opt.Clients
-			st.lat = make([]float64, 0, opt.PerClient)
 			for i := 0; i < opt.PerClient; i++ {
 				if interval > 0 {
 					if d := time.Until(next); d > 0 {
@@ -140,7 +142,7 @@ func RunLoadgen(opt LoadgenOptions) (LoadgenResult, error) {
 					st.errors++
 					continue
 				}
-				st.lat = append(st.lat, float64(time.Since(t0))/float64(time.Millisecond))
+				lat.RecordDuration(time.Since(t0))
 			}
 		}(k)
 	}
@@ -148,42 +150,23 @@ func RunLoadgen(opt LoadgenOptions) (LoadgenResult, error) {
 	elapsed := time.Since(start).Seconds()
 
 	res := LoadgenResult{Clients: opt.Clients, ElapsedSec: elapsed}
-	var all []float64
 	for k := range stats {
 		if stats[k].err != nil {
 			return res, fmt.Errorf("serve: loadgen client %d: %w", k, stats[k].err)
 		}
 		res.Errors += stats[k].errors
-		all = append(all, stats[k].lat...)
 	}
-	res.Decisions = len(all)
+	snap := lat.Snapshot()
+	res.Decisions = int(snap.Count())
 	if elapsed > 0 {
 		res.DecisionsPerSec = float64(res.Decisions) / elapsed
 	}
-	sort.Float64s(all)
+	const msPerNs = 1 / float64(time.Millisecond)
 	res.Latency = LatencyMs{
-		P50:  percentile(all, 0.50),
-		P99:  percentile(all, 0.99),
-		P999: percentile(all, 0.999),
-	}
-	if n := len(all); n > 0 {
-		res.Latency.Max = all[n-1]
+		P50:  float64(snap.Quantile(0.50)) * msPerNs,
+		P99:  float64(snap.Quantile(0.99)) * msPerNs,
+		P999: float64(snap.Quantile(0.999)) * msPerNs,
+		Max:  float64(snap.Max()) * msPerNs,
 	}
 	return res, nil
-}
-
-// percentile reads the q-quantile from sorted values (nearest-rank).
-func percentile(sorted []float64, q float64) float64 {
-	n := len(sorted)
-	if n == 0 {
-		return 0
-	}
-	idx := int(q*float64(n)+0.5) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= n {
-		idx = n - 1
-	}
-	return sorted[idx]
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dfp"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 // testSystem is a small two-resource cluster, fast enough for property
@@ -160,7 +161,8 @@ func TestEngineDecidesLikePickAtEveryBatchSize(t *testing.T) {
 // TestDaemonMatchesOfflineOverTheWire drives a real daemon over TCP from
 // concurrent clients with admission batching live: whatever batches the
 // requests coalesce into, every response must equal the offline decision
-// for that request.
+// for that request. The daemon runs with telemetry instruments active,
+// enforcing rule 7 (telemetry is contract-neutral) alongside rule 1.
 func TestDaemonMatchesOfflineOverTheWire(t *testing.T) {
 	sys := testSystem()
 	rng := rand.New(rand.NewSource(23))
@@ -171,7 +173,12 @@ func TestDaemonMatchesOfflineOverTheWire(t *testing.T) {
 	}
 	want := offlinePicks(t, testAgent(sys, 5), sys, reqs)
 
-	srv, err := NewServer(testAgent(sys, 5), sys, Config{MaxBatch: 4, MaxWait: 2 * time.Millisecond})
+	reg := telemetry.NewRegistry()
+	srv, err := NewServer(testAgent(sys, 5), sys, Config{
+		MaxBatch: 4,
+		MaxWait:  2 * time.Millisecond,
+		Metrics:  reg,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,6 +222,26 @@ func TestDaemonMatchesOfflineOverTheWire(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+
+	// The instruments must have observed the run without perturbing it.
+	snap := reg.Snapshot()
+	m := make(map[string]uint64)
+	for _, c := range snap.Counters {
+		m[c.Name] = c.Value
+	}
+	if m["serve_decisions_total"] != clients*total {
+		t.Errorf("serve_decisions_total = %d, want %d", m["serve_decisions_total"], clients*total)
+	}
+	if m["serve_batches_total"] == 0 {
+		t.Error("serve_batches_total = 0, want > 0")
+	}
+	for _, h := range snap.Histograms {
+		if h.Name == "serve_batch_size" {
+			if h.Count != m["serve_batches_total"] || h.Max > 4 {
+				t.Errorf("serve_batch_size: count %d (batches %d), max %d (MaxBatch 4)", h.Count, m["serve_batches_total"], h.Max)
+			}
+		}
 	}
 }
 

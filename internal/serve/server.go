@@ -12,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the daemon's admission batching.
@@ -27,6 +28,13 @@ type Config struct {
 	// Logf, when set, receives connection-level events (accepts, protocol
 	// rejections, swaps). The default is silence.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives the daemon's serve_* instruments.
+	// Telemetry is observe-only: decisions are byte-identical with and
+	// without it (doc.go, rule 7).
+	Metrics *telemetry.Registry
+	// Journal, when set, receives model lifecycle events (swaps and swap
+	// failures) as JSONL.
+	Journal *telemetry.Journal
 }
 
 func (c *Config) withDefaults() Config {
@@ -40,6 +48,40 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
+// serveMetrics caches the daemon's instruments at wire-up time so record
+// paths never touch the registry. With a nil registry the instruments are
+// live orphans and `timed` is false, skipping the clock reads around the
+// forward pass — either way the decision path computes identical picks.
+type serveMetrics struct {
+	timed           bool
+	decisions       *telemetry.Counter
+	batches         *telemetry.Counter
+	rejected        *telemetry.Counter
+	swaps           *telemetry.Counter
+	swapFailures    *telemetry.Counter
+	batchSize       *telemetry.Histogram
+	batchWait       *telemetry.Histogram
+	decisionLatency *telemetry.Histogram
+	modelVersion    *telemetry.Gauge
+	connsActive     *telemetry.Gauge
+}
+
+func newServeMetrics(reg *telemetry.Registry) serveMetrics {
+	return serveMetrics{
+		timed:           reg != nil,
+		decisions:       reg.Counter("serve_decisions_total"),
+		batches:         reg.Counter("serve_batches_total"),
+		rejected:        reg.Counter("serve_requests_rejected_total"),
+		swaps:           reg.Counter("serve_swaps_total"),
+		swapFailures:    reg.Counter("serve_swap_failures_total"),
+		batchSize:       reg.Histogram("serve_batch_size"),
+		batchWait:       reg.Histogram("serve_batch_wait_ns"),
+		decisionLatency: reg.Histogram("serve_decision_latency_ns"),
+		modelVersion:    reg.Gauge("serve_model_version"),
+		connsActive:     reg.Gauge("serve_conns_active"),
+	}
+}
+
 // Server is the decision daemon: it owns a served model and answers
 // decision requests from any number of client connections, coalescing
 // concurrent requests into batched forward passes. See doc.go for the
@@ -49,6 +91,7 @@ type Server struct {
 	eng    *engine
 	sys    cluster.Config
 	window int
+	m      serveMetrics
 
 	admit chan *pending
 
@@ -105,10 +148,12 @@ func NewServer(agent *core.MRSch, sys cluster.Config, cfg Config) (*Server, erro
 		eng:         eng,
 		sys:         sys,
 		window:      agent.Enc.Window,
+		m:           newServeMetrics(cfg.Metrics),
 		admit:       make(chan *pending, 256),
 		conns:       make(map[*conn]struct{}),
 		batcherDone: make(chan struct{}),
 	}
+	s.m.modelVersion.Set(float64(eng.modelVersion()))
 	go s.batcher()
 	return s, nil
 }
@@ -125,6 +170,12 @@ func (s *Server) Swap(r io.Reader) (uint64, error) {
 	v, err := s.eng.swap(r)
 	if err == nil {
 		s.cfg.Logf("serve: model swapped, now serving version %d", v)
+		s.m.swaps.Inc()
+		s.m.modelVersion.Set(float64(v))
+		s.cfg.Journal.Event("model_swap", "version", v)
+	} else {
+		s.m.swapFailures.Inc()
+		s.cfg.Journal.Event("model_swap_failed", "serving_version", v, "error", err.Error())
 	}
 	return v, err
 }
@@ -198,6 +249,8 @@ func (s *Server) Shutdown() {
 // serveConn runs one connection: handshake, then a read loop dispatching
 // decide and swap frames until the peer hangs up or corrupts the stream.
 func (s *Server) serveConn(c *conn) {
+	s.m.connsActive.Add(1)
+	defer s.m.connsActive.Add(-1)
 	defer s.connWG.Done()
 	defer func() {
 		s.mu.Lock()
@@ -263,6 +316,7 @@ func (s *Server) serveConn(c *conn) {
 // with a request-level error leaving the connection intact.
 func (s *Server) handleDecide(c *conn, m *message) {
 	reject := func(err error) {
+		s.m.rejected.Inc()
 		c.send(&message{Type: msgDecision, ID: m.ID, Pick: -1, Err: err.Error()})
 	}
 	ctx, err := buildContext(s.sys, s.window, &m.Req)
@@ -292,6 +346,12 @@ func (s *Server) batcher() {
 		picks []int
 	)
 	for first := range s.admit {
+		// Clock reads happen only here, at observation boundaries, and only
+		// when telemetry is wired: they never influence batching or picks.
+		var tAdmit time.Time
+		if s.m.timed {
+			tAdmit = time.Now()
+		}
 		batch = append(batch[:0], first)
 		if s.cfg.MaxWait > 0 {
 			timer := time.NewTimer(s.cfg.MaxWait)
@@ -327,8 +387,19 @@ func (s *Server) batcher() {
 		for _, p := range batch {
 			ctxs = append(ctxs, p.ctx)
 		}
+		var tDecide time.Time
+		if s.m.timed {
+			tDecide = time.Now()
+			s.m.batchWait.RecordDuration(tDecide.Sub(tAdmit))
+		}
 		var version uint64
 		picks, version = s.eng.decide(ctxs, picks)
+		if s.m.timed {
+			s.m.decisionLatency.RecordDuration(time.Since(tDecide))
+		}
+		s.m.batches.Inc()
+		s.m.batchSize.Record(int64(len(batch)))
+		s.m.decisions.Add(uint64(len(batch)))
 		for i, p := range batch {
 			p.c.send(&message{Type: msgDecision, ID: p.id, Pick: picks[i], ModelVersion: version})
 			s.inflight.Done()

@@ -1,0 +1,62 @@
+package telemetry
+
+import "testing"
+
+// The instrument benchmarks back the 0 allocs/op contract (run with
+// -benchmem; CI smoke-runs them with -benchtime=1x) and put a number on
+// the per-record cost the hot paths pay.
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	var g Gauge
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i) * 977)
+	}
+}
+
+func BenchmarkHistogramRecordParallel(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Record(v)
+			v = v*2862933555777941757 + 3037000493 // cheap LCG spread across buckets
+			if v < 0 {
+				v = -v
+			}
+		}
+	})
+}
+
+func BenchmarkRegistrySnapshot(b *testing.B) {
+	reg := NewRegistry()
+	for _, n := range []string{"a", "b", "c", "d"} {
+		reg.Counter("ctr_" + n).Inc()
+		reg.Gauge("gauge_" + n).Set(1)
+		h := reg.Histogram("hist_" + n)
+		for i := int64(0); i < 4096; i++ {
+			h.Record(i * 251)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = reg.Snapshot()
+	}
+}

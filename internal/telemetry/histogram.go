@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucketing: log-linear (HDR-style) over non-negative int64
+// values. Values below subCount are recorded exactly (one bucket per
+// value); above that, each power of two splits into subCount linear
+// sub-buckets, bounding the relative quantization error by 1/subCount.
+const (
+	histSubBits  = 6
+	histSubCount = 1 << histSubBits // 64 sub-buckets per power of two
+	// Indexes run [0, subCount) exact, then (shift+1)*subCount+sub for
+	// shift = exp-subBits in [0, 63-subBits]; +1 past the max index.
+	histBuckets = (64 - histSubBits + 1) * histSubCount
+)
+
+// Histogram is a fixed-bucket latency/size histogram: concurrent, with an
+// allocation-free record path (one atomic add into the value's bucket plus
+// exact count/sum/max maintenance) and nearest-rank quantile extraction
+// that is exact over the bucketed representation — Quantile returns the
+// representative value of precisely the bucket holding the nearest-rank
+// order statistic. Obtain one from Registry.Histogram; the zero value is
+// also ready to use.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // v in [2^exp, 2^(exp+1))
+	shift := exp - histSubBits
+	sub := int(v>>uint(shift)) - histSubCount // linear position within the power of two
+	return (shift+1)*histSubCount + sub
+}
+
+// bucketValue is bucketIndex's representative inverse: the exact value in
+// the exact region, the bucket midpoint above it (error ≤ half the bucket
+// width, i.e. ≤ 1/(2·subCount) relative).
+func bucketValue(i int) int64 {
+	if i < histSubCount {
+		return int64(i)
+	}
+	shift := uint(i/histSubCount - 1)
+	lower := uint64(histSubCount+i%histSubCount) << shift
+	return int64(lower + (uint64(1)<<shift)/2)
+}
+
+// Record adds one observation. Negative values clamp to zero. The path is
+// atomic adds only: no locks, no allocation, no clock or rng access.
+func (h *Histogram) Record(v int64) {
+	u := uint64(0)
+	if v > 0 {
+		u = uint64(v)
+	}
+	h.counts[bucketIndex(u)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(u)
+	for {
+		old := h.max.Load()
+		if u <= old || h.max.CompareAndSwap(old, u) {
+			return
+		}
+	}
+}
+
+// RecordDuration records d in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Count reads the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Max reads the exact maximum recorded value (0 if none).
+func (h *Histogram) Max() int64 { return int64(h.max.Load()) }
+
+// Mean reads the exact mean of recorded values (0 if none).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile reads the q-quantile from a point-in-time snapshot; prefer
+// Snapshot when extracting several quantiles of one distribution.
+func (h *Histogram) Quantile(q float64) int64 { return h.Snapshot().Quantile(q) }
+
+// HistSnapshot is a point-in-time copy of a histogram, consistent across
+// its quantiles.
+type HistSnapshot struct {
+	counts []uint64
+	count  uint64
+	sum    uint64
+	max    uint64
+}
+
+// Snapshot copies the histogram state. Concurrent recorders may land
+// between the per-bucket reads; each bucket is individually exact and the
+// skew is bounded by the records in flight during the copy.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		counts: make([]uint64, histBuckets),
+		max:    h.max.Load(),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.counts[i] = c
+		s.count += c
+	}
+	s.sum = h.sum.Load()
+	return s
+}
+
+// Count reads the snapshot's observation count.
+func (s HistSnapshot) Count() uint64 { return s.count }
+
+// Max reads the snapshot's exact maximum (0 if empty).
+func (s HistSnapshot) Max() int64 { return int64(s.max) }
+
+// Mean reads the snapshot's exact mean (0 if empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return float64(s.sum) / float64(s.count)
+}
+
+// Quantile returns the q-quantile by the nearest-rank convention
+// rank = round(q·n) (clamped to [1, n]) — the same convention the retired
+// sort-based loadgen percentiles used — as the representative value of the
+// bucket holding that order statistic. Empty snapshots return 0.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	n := s.count
+	if n == 0 {
+		return 0
+	}
+	idx := int64(q*float64(n)+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= int64(n) {
+		idx = int64(n) - 1
+	}
+	var cum int64
+	for i, c := range s.counts {
+		cum += int64(c)
+		if cum > idx {
+			return bucketValue(i)
+		}
+	}
+	return int64(s.max) // unreachable with consistent counts
+}

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// nearestRank replicates the quantile rank convention shared by
+// HistSnapshot.Quantile and the retired sort-based loadgen percentiles:
+// rank = round(q·n), clamped to [1, n], over ascending values.
+func nearestRank(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	idx := int(q*float64(n)+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}
+
+// The histogram property: for any workload, Quantile(q) is exactly the
+// bucket representative of the nearest-rank order statistic — quantile
+// extraction is exact over the bucketed representation, and within 1/64
+// relative error of the raw statistic.
+func TestHistogramQuantilesMatchSortedReference(t *testing.T) {
+	quantiles := []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	workloads := []struct {
+		name string
+		gen  func(rng *rand.Rand, n int) []int64
+	}{
+		{"uniform_small", func(rng *rand.Rand, n int) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = rng.Int63n(64) // the exact region
+			}
+			return out
+		}},
+		{"uniform_wide", func(rng *rand.Rand, n int) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = rng.Int63n(int64(10 * time.Second))
+			}
+			return out
+		}},
+		{"lognormal_latency", func(rng *rand.Rand, n int) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = int64(math.Exp(rng.NormFloat64()*1.5+13) + 0.5) // ~µs-to-ms scale ns
+			}
+			return out
+		}},
+		{"heavy_tail", func(rng *rand.Rand, n int) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = rng.Int63() >> uint(14+rng.Intn(40))
+			}
+			return out
+		}},
+		{"constant", func(rng *rand.Rand, n int) []int64 {
+			out := make([]int64, n)
+			for i := range out {
+				out[i] = 123456
+			}
+			return out
+		}},
+	}
+	for _, wl := range workloads {
+		t.Run(wl.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			for _, n := range []int{1, 2, 17, 1000} {
+				values := wl.gen(rng, n)
+				var h Histogram
+				for _, v := range values {
+					h.Record(v)
+				}
+				sorted := append([]int64(nil), values...)
+				sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+				snap := h.Snapshot()
+				if snap.Count() != uint64(n) {
+					t.Fatalf("n=%d: count %d", n, snap.Count())
+				}
+				if snap.Max() != sorted[n-1] {
+					t.Fatalf("n=%d: max %d, want exact %d", n, snap.Max(), sorted[n-1])
+				}
+				var sum float64
+				for _, v := range values {
+					sum += float64(v)
+				}
+				if mean := snap.Mean(); math.Abs(mean-sum/float64(n)) > 1e-6*sum/float64(n)+1e-9 {
+					t.Fatalf("n=%d: mean %g, want exact %g", n, mean, sum/float64(n))
+				}
+				for _, q := range quantiles {
+					raw := nearestRank(sorted, q)
+					want := bucketValue(bucketIndex(uint64(raw)))
+					got := snap.Quantile(q)
+					if got != want {
+						t.Errorf("n=%d q=%g: Quantile=%d, want bucket representative %d of raw %d", n, q, got, want, raw)
+					}
+					if tol := raw/64 + 1; got < raw-tol || got > raw+tol {
+						t.Errorf("n=%d q=%g: Quantile=%d outside 1/64 tolerance of raw %d", n, q, got, raw)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Bucket-boundary edges: powers of two, the exact-region boundary, the
+// extremes, and negatives (clamped to 0) must round-trip through
+// bucketIndex/bucketValue within their bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []int64{0, 1, 62, 63, 64, 65, 127, 128, 129, 255, 256,
+		1<<20 - 1, 1 << 20, 1<<20 + 1, math.MaxInt64 - 1, math.MaxInt64}
+	for _, v := range cases {
+		i := bucketIndex(uint64(v))
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("v=%d: bucket %d outside [0,%d)", v, i, histBuckets)
+		}
+		rep := bucketValue(i)
+		if v < histSubCount {
+			if rep != v {
+				t.Errorf("v=%d in the exact region maps to representative %d", v, rep)
+			}
+			continue
+		}
+		diff := v - rep
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > v/64+1 {
+			t.Errorf("v=%d: representative %d outside 1/64 tolerance", v, rep)
+		}
+		if bucketIndex(uint64(rep)) != i {
+			t.Errorf("v=%d: representative %d falls in bucket %d, not %d", v, rep, bucketIndex(uint64(rep)), i)
+		}
+	}
+	// Bucket indexes are monotone in the value.
+	prev := -1
+	for _, v := range cases {
+		if i := bucketIndex(uint64(v)); i < prev {
+			t.Fatalf("bucketIndex not monotone at v=%d", v)
+		} else {
+			prev = i
+		}
+	}
+	var h Histogram
+	h.Record(-5)
+	if h.Count() != 1 || h.Snapshot().Quantile(0.5) != 0 {
+		t.Error("negative values must clamp to the zero bucket")
+	}
+}
+
+// Concurrent writers: the histogram must tolerate racing Record calls
+// without losing observations (run under -race in CI).
+func TestHistogramConcurrentWriters(t *testing.T) {
+	const writers, perWriter = 8, 5000
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				h.Record(rng.Int63n(1 << 30))
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count() != writers*perWriter {
+		t.Fatalf("count %d, want %d", snap.Count(), writers*perWriter)
+	}
+	var total uint64
+	for _, c := range snap.counts {
+		total += c
+	}
+	if total != writers*perWriter {
+		t.Fatalf("bucket mass %d, want %d", total, writers*perWriter)
+	}
+}
+
+// The zero-alloc guard: the record paths of all three instruments must not
+// allocate — they sit on decision and training hot paths, where an
+// allocation would be a per-operation GC tax and a contract violation
+// (telemetry doc, observe-only rule 1).
+func TestRecordPathsDoNotAllocate(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("allocs_counter")
+	g := reg.Gauge("allocs_gauge")
+	h := reg.Histogram("allocs_hist")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(); c.Add(3) }); n != 0 {
+		t.Errorf("Counter record path allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(4.2); g.Add(-1) }); n != 0 {
+		t.Errorf("Gauge record path allocates %v/op", n)
+	}
+	v := int64(0)
+	if n := testing.AllocsPerRun(1000, func() { h.Record(v); v += 977 }); n != 0 {
+		t.Errorf("Histogram record path allocates %v/op", n)
+	}
+}

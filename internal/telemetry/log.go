@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger is the shared structured logger for operator-facing lines: every
+// event is one `ts=... component=... event=... key=value ...` line, so the
+// three cmd binaries emit startup and status information in one greppable
+// format. Values containing spaces, quotes, or '=' are strconv-quoted.
+// It complements the Journal: the journal is the machine-read JSONL record
+// of a run, the logger the human-read stderr stream.
+type Logger struct {
+	mu        sync.Mutex
+	w         io.Writer
+	component string
+	now       func() time.Time
+}
+
+// NewLogger logs key=value lines for the named component (the cmd name)
+// onto w.
+func NewLogger(w io.Writer, component string) *Logger {
+	return &Logger{w: w, component: component, now: time.Now}
+}
+
+// Event writes one line from alternating key/value pairs; values go
+// through fmt-free formatting for common types and fmt otherwise. A nil
+// logger drops the line.
+func (l *Logger) Event(event string, kv ...any) {
+	if l == nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(l.now().Format(time.RFC3339))
+	b.WriteString(" component=")
+	b.WriteString(logValue(l.component))
+	b.WriteString(" event=")
+	b.WriteString(logValue(event))
+	for i := 0; i < len(kv); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(logValue(kv[i]))
+		b.WriteByte('=')
+		if i+1 < len(kv) {
+			b.WriteString(logValue(kv[i+1]))
+		}
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.w, b.String())
+}
+
+// logValue renders one key or value, quoting anything that would break
+// key=value tokenization.
+func logValue(v any) string {
+	var s string
+	switch t := v.(type) {
+	case string:
+		s = t
+	case int:
+		s = strconv.Itoa(t)
+	case int64:
+		s = strconv.FormatInt(t, 10)
+	case uint64:
+		s = strconv.FormatUint(t, 10)
+	case float64:
+		s = strconv.FormatFloat(t, 'g', -1, 64)
+	case bool:
+		s = strconv.FormatBool(t)
+	case time.Duration:
+		s = t.String()
+	case error:
+		s = t.Error()
+	default:
+		if str, ok := v.(interface{ String() string }); ok {
+			s = str.String()
+		} else {
+			s = fmt.Sprint(v)
+		}
+	}
+	if s == "" || strings.ContainsAny(s, " =\"\t\n") {
+		return strconv.Quote(s)
+	}
+	return s
+}
