@@ -9,13 +9,13 @@
 //
 //	mrsch-exp [-scale quick|standard|tiny] [-fig all|1|3|4|5|6|7|8|9|10|sweep] [-parallel 4] [-pipeline]
 //	mrsch-exp -campaign spec.json [-parallel 4] [-pipeline] [-checkpoint dir [-resume]] [-report file]
-//	mrsch-exp -campaign paper|theta-variants [-scale quick]
+//	mrsch-exp -campaign paper|theta-variants|theta-skew [-scale quick]
 //	mrsch-exp -campaign spec.json -dry-run
 //	mrsch-exp -campaign spec.json -workers 4 [-fault-plan faults.json]
 //	mrsch-exp -campaign spec.json -workers 4 -listen :7077
 //	mrsch-exp -worker [-connect host:7077]
 //	mrsch-exp -prune -checkpoint dir [-dry-run]
-//	mrsch-exp -dump-campaign paper|theta-variants [-scale quick]
+//	mrsch-exp -dump-campaign paper|theta-variants|theta-skew [-scale quick]
 //	mrsch-exp -list
 //
 // -campaign runs a campaign spec: a JSON file (see -dump-campaign for the
@@ -27,8 +27,10 @@
 // selected -scale — the starting point for custom specs, and the golden
 // file CI pins (specs/paper-campaign.json).
 //
-// -list prints the builtin scenarios, methods, theta-variant axes, and
-// campaigns, generated from the spec registry.
+// -list prints the builtin scenarios (Table III S1-S10 and the
+// ingested-trace transfer family T1-T5), methods, variant axes (div,
+// interarrival, walltime-noise, zipf user skew, and Markov-modulated
+// bursty arrivals), and campaigns, generated from the spec registry.
 //
 // -parallel N runs training rollouts and campaign evaluation episodes on N
 // simulator environments concurrently (0 = all CPU cores). The "sweep"
@@ -456,15 +458,21 @@ func printRegistry() {
 	for _, sp := range scenario.Builtins() {
 		fmt.Printf("  %-4s (%d resources)  %s\n", sp.Name, sp.Arity(), sp.Describe())
 	}
+	fmt.Println("\nIngested-trace scenarios (cross-machine transfer; see workload.BuiltinTraces):")
+	for _, sp := range scenario.TraceBuiltins() {
+		fmt.Printf("  %-4s (%d resources)  %s\n", sp.Name, sp.Arity(), sp.Describe())
+	}
 	fmt.Println("\nMethods:")
 	for _, k := range scenario.Kinds() {
 		m := scenario.MethodSpec{Kind: k}
 		fmt.Printf("  %-13s (kind %-12s)  %s\n", m.DisplayName(), k, m.Describe())
 	}
-	fmt.Println("\nTheta-variant axes (scenario suffix: S4@<short>=<value>):")
+	fmt.Println("\nVariant axes (scenario suffix: S4@<short>=<value>, comma-separated, each at most once):")
 	for _, ax := range scenario.Axes() {
-		fmt.Printf("  %-15s (short %-3s, ladder %v)  %s\n", ax.Name, ax.Short, ax.Values, ax.Description)
+		fmt.Printf("  %-15s (short %-4s, ladder %v)  %s\n", ax.Name, ax.Short, ax.Values, ax.Description)
 	}
+	fmt.Printf("  %-15s (value <factor>x<frac>, e.g. S4@burst=5x0.25)  Markov-modulated bursty arrivals: gaps shrink to 1/factor for a stationary frac of submissions (dwell %d arrivals)\n",
+		scenario.AxisBurst, scenario.DefaultBurstDwell)
 	fmt.Println("\nBuiltin campaigns (-campaign / -dump-campaign):")
 	for _, c := range scenario.BuiltinCampaigns(scenario.QuickScaleSpec()) {
 		fmt.Printf("  %-15s %d scenarios x %d methods  %s\n", c.Name, len(c.Scenarios), len(c.Methods), c.Description)

@@ -1,12 +1,16 @@
 // Command mrsch-sim replays one workload through one scheduling method and
 // prints the §IV-B metrics. It is the single-run counterpart of mrsch-exp:
 // useful for trying a scheduler on a generated trace file or on a built-in
-// Table III scenario (theta-variant syntax works too, e.g. "S4@wtn=0.5";
-// see internal/scenario).
+// scenario — Table III S1-S10, the ingested-trace transfer family T1-T5,
+// and variant syntax all resolve (e.g. "S4@wtn=0.5", "S4@zipf=0.9",
+// "S4@burst=5x0.25"; see internal/scenario). Variant and trace scenarios
+// prepare their own base materials, exactly like the campaign runner, so
+// e.g. `-method mrsch -model s4.model -workload T4` measures cross-machine
+// transfer of an S4-trained model.
 //
 // Usage:
 //
-//	mrsch-sim -method mrsch|optimization|rl|fcfs -workload S1..S10
+//	mrsch-sim -method mrsch|optimization|rl|fcfs -workload S1..S10|T1..T5
 //	          [-scale quick|standard] [-model mrsch-s1.model]
 //	mrsch-sim -method fcfs -trace trace.txt -div 16
 package main
@@ -61,7 +65,7 @@ func main() {
 		policy := sched.NewWindowPolicy(experiments.NewGA(sc.Seed+29), sc.Window)
 		report, err = experiments.Evaluate(sys, policy, jobs, experiments.MethodOptimize, *wl, powerIdx)
 	case "rl":
-		m, perr := experiments.Prepare(sc)
+		m, perr := materialsFor(sc, *wl)
 		if perr != nil {
 			fail(perr)
 		}
@@ -108,11 +112,11 @@ func loadWorkload(sc experiments.Scale, wl, traceFile string, div int) (cluster.
 		}
 		return workload.ThetaScaled(div), jobs, false
 	}
-	m, err := experiments.Prepare(sc)
+	sp, err := scenario.ByName(wl)
 	if err != nil {
 		fail(err)
 	}
-	sp, err := scenario.ByName(wl)
+	m, err := experiments.PrepareFor(sc, sp)
 	if err != nil {
 		fail(err)
 	}
@@ -121,6 +125,17 @@ func loadWorkload(sc experiments.Scale, wl, traceFile string, div int) (cluster.
 		fail(err)
 	}
 	return m.SystemFor(sp), jobs, sp.Power
+}
+
+// materialsFor prepares the materials a workload trains against: variant
+// and trace scenarios fold their base-trace overrides into the scale
+// (experiments.PrepareFor, the campaign runner's path); trace-file labels
+// fall back to the plain campaign materials.
+func materialsFor(sc experiments.Scale, wl string) (*experiments.Materials, error) {
+	if sp, err := scenario.ByName(wl); err == nil {
+		return experiments.PrepareFor(sc, sp)
+	}
+	return experiments.Prepare(sc)
 }
 
 // mrschAgent loads pre-trained weights or trains in-process.
@@ -137,7 +152,7 @@ func mrschAgent(sc experiments.Scale, wl string, power bool, model string) (*cor
 		}
 		return agent, nil
 	}
-	m, err := experiments.Prepare(sc)
+	m, err := materialsFor(sc, wl)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,67 @@
+package distrib
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+// The new realistic-workload axes (zipf user skew, bursty arrivals, ingested
+// traces) travel the wire as ordinary spec fields, so a campaign exercising
+// all three must be byte-identical between distributed and single-process
+// execution — workers prepare the variant materials themselves from nothing
+// but the cell spec (rule 9 applied to the tentpole axes).
+func TestNewAxesCampaignMatchesInProcess(t *testing.T) {
+	var scs []scenario.ScenarioSpec
+	for _, name := range []string{"S4", "S4@zipf=0.9", "S4@burst=4x0.3", "T4"} {
+		sp, err := scenario.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scs = append(scs, sp)
+	}
+	spec := scenario.CampaignSpec{
+		Name:      "distrib-new-axes",
+		Scale:     scenario.TinyScaleSpec(),
+		Scenarios: scs,
+		Methods:   []scenario.MethodSpec{{Kind: scenario.KindHeuristic}},
+		Seeds:     []int64{5, 23},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := experiments.RunCampaign(spec, experiments.CampaignOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []Event
+	got, err := Run(spec, experiments.CampaignOptions{Workers: 1}, fastOptions(&events), testPool(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatal("distributed new-axes results differ from in-process RunCampaign")
+	}
+	if !bytes.Equal(render(spec.Name, ref), render(spec.Name, got)) {
+		t.Fatal("distributed new-axes report bytes differ from in-process RunCampaign")
+	}
+	assertExactlyOnce(t, events, len(spec.Expand()))
+	if n := countKind(events, EventResult); n != len(spec.Expand()) {
+		t.Fatalf("%d results collated, want %d", n, len(spec.Expand()))
+	}
+
+	// The per-user metrics ride the same gob payload: the zipf cells must
+	// come back attributed, the plain cells unattributed.
+	for _, r := range got {
+		attributed := r.Report.Users > 0
+		wantAttributed := r.Cell.Scenario.ZipfUsers > 0 || r.Cell.Scenario.Trace != ""
+		if attributed != wantAttributed {
+			t.Errorf("%s: users=%d, attribution should be %v", r.Cell.Label(), r.Report.Users, wantAttributed)
+		}
+	}
+}

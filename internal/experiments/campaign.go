@@ -179,6 +179,41 @@ func (r *CampaignRun) evalCells(cells []scenario.Cell, workers int) ([]CellResul
 	return results, nil
 }
 
+// ScaleForSpec folds a scenario's base-trace overrides — div, interarrival,
+// burst, trace — into a scale: the single place the spec axes become
+// generator inputs, shared by the campaign runner and the cmd binaries'
+// standalone evaluation paths. Evaluation-side axes (walltime noise, zipf
+// ownership) don't touch the scale; Materials.WorkloadSpec applies them.
+func ScaleForSpec(sc Scale, sp scenario.ScenarioSpec) Scale {
+	if sp.Div > 0 {
+		sc.Div = sp.Div
+	}
+	if sp.InterarrivalScale > 0 && sp.InterarrivalScale != 1 {
+		sc.MeanInterarrival *= sp.InterarrivalScale
+	}
+	if sp.Burst != nil {
+		sc.Burst = sp.Burst
+	}
+	if sp.Trace != "" {
+		sc.Trace = sp.Trace
+	}
+	return sc
+}
+
+// PrepareFor prepares the materials a scenario evaluates against: Prepare
+// at ScaleForSpec's folded scale, with the interarrival factor recorded so
+// WorkloadSpec's checkSpec accepts the spec it was built for.
+func PrepareFor(sc Scale, sp scenario.ScenarioSpec) (*Materials, error) {
+	m, err := Prepare(ScaleForSpec(sc, sp))
+	if err != nil {
+		return nil, err
+	}
+	if sp.InterarrivalScale > 0 && sp.InterarrivalScale != 1 {
+		m.InterarrivalScale = sp.InterarrivalScale
+	}
+	return m, nil
+}
+
 // scaleFor derives the cell's effective scale: the campaign scale with the
 // cell's replicate seed and the scenario's base-trace overrides applied.
 func (r *CampaignRun) scaleFor(cell scenario.Cell) Scale {
@@ -186,18 +221,20 @@ func (r *CampaignRun) scaleFor(cell scenario.Cell) Scale {
 	if cell.Seed != 0 {
 		sc.Seed = cell.Seed
 	}
-	sp := cell.Scenario
-	if sp.Div > 0 {
-		sc.Div = sp.Div
-	}
-	if sp.InterarrivalScale > 0 && sp.InterarrivalScale != 1 {
-		sc.MeanInterarrival *= sp.InterarrivalScale
-	}
-	return sc
+	return ScaleForSpec(sc, cell.Scenario)
 }
 
+// materialsKey identifies one set of base materials. The burst and trace
+// segments are conditional so every pre-existing key is unchanged.
 func materialsKey(sc Scale) string {
-	return fmt.Sprintf("div=%d|ia=%g|seed=%d", sc.Div, sc.MeanInterarrival, sc.Seed)
+	key := fmt.Sprintf("div=%d|ia=%g|seed=%d", sc.Div, sc.MeanInterarrival, sc.Seed)
+	if sc.Burst != nil {
+		key += fmt.Sprintf("|burst=%gx%g@%g", sc.Burst.Factor, sc.Burst.Frac, sc.Burst.Dwell)
+	}
+	if sc.Trace != "" {
+		key += "|trace=" + sc.Trace
+	}
+	return key
 }
 
 // resolveMaterials prepares (and caches) the cell's base materials. Called

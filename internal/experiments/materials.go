@@ -34,19 +34,35 @@ type Materials struct {
 
 // Prepare generates the campaign's raw materials deterministically. The
 // scale is validated first: nonpositive sizing fields fail loudly here
-// instead of flowing silently into trace generation.
+// instead of flowing silently into trace generation. The base trace is the
+// synthetic generator's output — Markov-modulated when the scale sets
+// Burst — or, when the scale names a Trace, an ingested SWF log rescaled
+// onto the scaled system (workload.LoadTraceBase).
 func Prepare(sc Scale) (*Materials, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
 	sys := sc.System()
-	gcfg := workload.GeneratorConfig{
-		System:           sys,
-		Duration:         sc.TraceDuration,
-		MeanInterarrival: sc.MeanInterarrival,
-		Seed:             sc.Seed,
+	var base []*job.Job
+	if sc.Trace != "" {
+		var err error
+		base, err = workload.LoadTraceBase(sc.Trace, sys, sc.TraceDuration, sc.MeanInterarrival)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+	} else {
+		gcfg := workload.GeneratorConfig{
+			System:           sys,
+			Duration:         sc.TraceDuration,
+			MeanInterarrival: sc.MeanInterarrival,
+			Seed:             sc.Seed,
+		}
+		if sc.Burst != nil {
+			b := sc.Burst.Config()
+			gcfg.Burst = &b
+		}
+		base = workload.GenerateBase(gcfg)
 	}
-	base := workload.GenerateBase(gcfg)
 	pool := workload.AssignDarshanBB(base, sys.Capacities[1], sc.Seed+1)
 	train, valid, test := workload.PaperSplit(base)
 	if len(test) == 0 { // degenerate tiny traces: evaluate on everything
@@ -86,14 +102,28 @@ func (m *Materials) checkSpec(sp scenario.ScenarioSpec) error {
 	if want != have {
 		return fmt.Errorf("experiments: scenario %s scales interarrival x%g but materials carry x%g; prepare variant materials first (RunCampaign does)", sp.Name, want, have)
 	}
+	if sp.Trace != "" && sp.Trace != m.Scale.Trace {
+		return fmt.Errorf("experiments: scenario %s replays trace %q but materials were prepared from %q", sp.Name, sp.Trace, orSynthetic(m.Scale.Trace))
+	}
+	if sp.Burst != nil && (m.Scale.Burst == nil || *sp.Burst != *m.Scale.Burst) {
+		return fmt.Errorf("experiments: scenario %s wants bursty arrivals (%s) but materials carry a different arrival process; prepare variant materials first (RunCampaign does)", sp.Name, sp.Burst.Describe())
+	}
 	return nil
+}
+
+func orSynthetic(trace string) string {
+	if trace == "" {
+		return "the synthetic generator"
+	}
+	return trace
 }
 
 // WorkloadSpec builds the scenario's evaluation workload over the test
 // split: the Table III transform (plus the §V-E power profile for power
-// specs) and, when the spec sets walltime_noise_sigma, lognormal noise on
-// the walltime estimates. Base-trace variant axes (div, interarrival) must
-// already be reflected in the materials' scale.
+// specs), then — when the spec asks — lognormal walltime-estimate noise
+// and Zipf-skewed user ownership. Base-trace variant axes (div,
+// interarrival, burst, trace) must already be reflected in the materials'
+// scale; checkSpec rejects mismatches.
 func (m *Materials) WorkloadSpec(sp scenario.ScenarioSpec) ([]*job.Job, error) {
 	if err := m.checkSpec(sp); err != nil {
 		return nil, err
@@ -107,6 +137,9 @@ func (m *Materials) WorkloadSpec(sp scenario.ScenarioSpec) ([]*job.Job, error) {
 	}
 	if sp.WalltimeNoiseSigma > 0 {
 		jobs = workload.NoiseWalltimes(jobs, sp.WalltimeNoiseSigma, m.Scale.Seed+170)
+	}
+	if sp.ZipfUsers > 0 {
+		jobs = workload.AssignZipfUsers(jobs, sp.ZipfUsers, sp.ZipfTheta, m.Scale.Seed+190)
 	}
 	return rebase(jobs), nil
 }
@@ -130,14 +163,16 @@ func (m *Materials) powerSystemFor(sp scenario.ScenarioSpec) (cluster.Config, in
 	return workload.WithPowerBudget(m.Scale.System(), budget), budget
 }
 
-// ValidationWorkload builds the named Table III scenario over the
-// validation split (§IV-A model selection).
+// ValidationWorkload builds the named scenario's Table III mix over the
+// validation split (§IV-A model selection). Resolution goes through
+// scenario.ByName, so trace-family names ("T4") and variant syntax work;
+// only the mix applies here — validation always runs unperturbed.
 func (m *Materials) ValidationWorkload(name string) []*job.Job {
-	sc, err := workload.ScenarioByName(name)
+	sp, err := scenario.ByName(name)
 	if err != nil {
 		panic(err)
 	}
-	return rebase(workload.Apply(m.Valid, m.Pool, sc, m.Scale.System(), m.Scale.Seed+150))
+	return rebase(workload.Apply(m.Valid, m.Pool, sp.Mix(), m.Scale.System(), m.Scale.Seed+150))
 }
 
 // Workload builds the named builtin scenario over the test split — the
@@ -188,10 +223,11 @@ func rebase(jobs []*job.Job) []*job.Job {
 // from the training split: sampled (Poisson arrivals), real (trace slices),
 // and synthetic (fresh generator output), each transformed by the scenario.
 func (m *Materials) CurriculumSets(scenarioName string) map[core.JobSetKind][][]*job.Job {
-	sc, err := workload.ScenarioByName(scenarioName)
+	sp, err := scenario.ByName(scenarioName)
 	if err != nil {
 		panic(err)
 	}
+	sc := sp.Mix()
 	s := m.Scale
 	sys := s.System()
 	apply := func(sets [][]*job.Job, seedOff int64) [][]*job.Job {
@@ -201,9 +237,17 @@ func (m *Materials) CurriculumSets(scenarioName string) map[core.JobSetKind][][]
 		}
 		return out
 	}
+	// Sampled and real sets inherit the materials' arrival process (bursty
+	// or trace-derived) through m.Train; the synthetic sets regenerate it,
+	// so a bursty campaign injects the same modulation into its curriculum.
+	var burst *workload.Burst
+	if s.Burst != nil {
+		b := s.Burst.Config()
+		burst = &b
+	}
 	sampled := apply(workload.SampledSets(m.Train, s.SetsPerKind, s.SetSize, s.Seed+200), 300)
 	real := apply(workload.RealSets(m.Train, s.SetsPerKind, s.SetSize), 400)
-	synth := workload.SyntheticSets(sys, sc, s.SetsPerKind, s.SetSize, m.meanGap(), s.Seed+500)
+	synth := workload.SyntheticSets(sys, sc, s.SetsPerKind, s.SetSize, m.meanGap(), s.Seed+500, burst)
 	return map[core.JobSetKind][][]*job.Job{
 		core.Sampled:   sampled,
 		core.Real:      real,

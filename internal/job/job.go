@@ -47,6 +47,11 @@ type Job struct {
 	Runtime  float64 // actual runtime from the trace; hidden from schedulers
 	Walltime float64 // user-supplied estimate; what schedulers plan with
 	Demand   []int
+	// User attributes the job to a submitting user or project (0 =
+	// unattributed). Ownership is workload metadata: schedulers in this
+	// reproduction are user-blind, so User feeds per-user accounting
+	// (metrics) and the Zipf-skew workload axis, never placement.
+	User int
 
 	// Simulation state, managed by internal/sim.
 	State State
@@ -109,6 +114,7 @@ func (j *Job) Clone() *Job {
 		Runtime:  j.Runtime,
 		Walltime: j.Walltime,
 		Demand:   d,
+		User:     j.User,
 	}
 }
 

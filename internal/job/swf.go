@@ -22,10 +22,14 @@ import (
 //
 // ReadSWF maps each record onto the multi-resource Job model: submit <- f2,
 // runtime <- f4, walltime <- f9 (falling back to runtime when absent),
-// nodes <- f5/ppn (falling back to f8). The burst-buffer column is left at
-// zero — workload.AssignDarshanBB fills it, mirroring the paper's Darshan
-// join. Records with unusable times or sizes (canceled jobs, the -1
-// sentinels of SWF) are skipped; the count of skipped records is returned.
+// nodes <- f5/ppn (falling back to f8), user <- f12 when present. The
+// burst-buffer column is left at zero — workload.AssignDarshanBB fills it,
+// mirroring the paper's Darshan join. Records with unusable times or sizes
+// (canceled jobs, the -1 sentinels of SWF, non-finite or absurdly large
+// values in damaged logs) are skipped; the count of skipped records is
+// returned. Structurally broken lines (too few fields, a non-numeric job
+// number) are errors: the parser always returns an error rather than
+// panicking, whatever the input (FuzzParseSWF pins this).
 
 // SWFOptions tunes SWF interpretation.
 type SWFOptions struct {
@@ -66,17 +70,27 @@ func ReadSWF(r io.Reader, opts SWFOptions) (jobs []*Job, skipped int, err error)
 		}
 		submit := parseSWFFloat(f[1])
 		runtime := parseSWFFloat(f[3])
-		procs := int(parseSWFFloat(f[4]))
+		procs := swfCount(f[4])
 		if procs <= 0 {
-			procs = int(parseSWFFloat(f[7])) // fall back to requested
+			procs = swfCount(f[7]) // fall back to requested
 		}
 		walltime := parseSWFFloat(f[8])
-		if walltime <= 0 {
+		if !(walltime > 0) || walltime > maxSWFSeconds {
 			walltime = runtime
 		}
-		if submit < 0 || runtime <= 0 || procs <= 0 {
+		// Skip records a simulator cannot replay: the -1 sentinels of SWF,
+		// and non-finite or absurd values (NaN/Inf and beyond-maxSWFSeconds
+		// times parse fine but would poison every downstream computation).
+		if !(submit >= 0) || submit > maxSWFSeconds ||
+			!(runtime > 0) || runtime > maxSWFSeconds || procs <= 0 {
 			skipped++
 			continue
+		}
+		user := 0
+		if len(f) >= 12 {
+			if v, err := strconv.Atoi(f[11]); err == nil && v > 0 {
+				user = v
+			}
 		}
 		nodes := (procs + opts.ProcsPerNode - 1) / opts.ProcsPerNode
 		demand := make([]int, opts.Resources)
@@ -87,6 +101,7 @@ func ReadSWF(r io.Reader, opts SWFOptions) (jobs []*Job, skipped int, err error)
 			Runtime:  runtime,
 			Walltime: walltime,
 			Demand:   demand,
+			User:     user,
 		})
 		if opts.MaxJobs > 0 && len(jobs) >= opts.MaxJobs {
 			break
@@ -99,6 +114,15 @@ func ReadSWF(r io.Reader, opts SWFOptions) (jobs []*Job, skipped int, err error)
 	return jobs, skipped, nil
 }
 
+// maxSWFSeconds and maxSWFProcs bound plausible log values: a century of
+// seconds and a billion processors. Anything beyond (including +Inf, or
+// floats whose int conversion would be implementation-defined) is treated
+// as a damaged record, not a hard error.
+const (
+	maxSWFSeconds = 100 * 365 * 86400.0
+	maxSWFProcs   = 1 << 30
+)
+
 func parseSWFFloat(s string) float64 {
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
@@ -107,10 +131,20 @@ func parseSWFFloat(s string) float64 {
 	return v
 }
 
+// swfCount parses a processor count, collapsing sentinels, non-finite
+// values, and counts beyond maxSWFProcs to -1 (skipped by the caller).
+func swfCount(s string) int {
+	v := parseSWFFloat(s)
+	if !(v > 0) || v > maxSWFProcs {
+		return -1
+	}
+	return int(v)
+}
+
 // WriteSWF emits jobs as SWF records (node demand written as both allocated
-// and requested processors, multiplied back by ProcsPerNode; unknown fields
-// carry the SWF -1 sentinel). Round-trips through ReadSWF with the same
-// options.
+// and requested processors, multiplied back by ProcsPerNode; the user id in
+// field 12 when set; unknown fields carry the SWF -1 sentinel). Round-trips
+// through ReadSWF with the same options.
 func WriteSWF(w io.Writer, jobs []*Job, opts SWFOptions) error {
 	if opts.ProcsPerNode <= 0 {
 		opts.ProcsPerNode = 1
@@ -119,8 +153,12 @@ func WriteSWF(w io.Writer, jobs []*Job, opts SWFOptions) error {
 	fmt.Fprintln(bw, "; SWF export (see internal/job/swf.go for field mapping)")
 	for _, j := range jobs {
 		procs := j.Demand[0] * opts.ProcsPerNode
-		fmt.Fprintf(bw, "%d %.0f -1 %.0f %d -1 -1 %d %.0f -1 1 -1 -1 -1 -1 -1 -1 -1\n",
-			j.ID, j.Submit, j.Runtime, procs, procs, j.Walltime)
+		user := j.User
+		if user <= 0 {
+			user = -1
+		}
+		fmt.Fprintf(bw, "%d %.0f -1 %.0f %d -1 -1 %d %.0f -1 1 %d -1 -1 -1 -1 -1 -1\n",
+			j.ID, j.Submit, j.Runtime, procs, procs, j.Walltime, user)
 	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("job: write swf: %w", err)

@@ -38,6 +38,13 @@ type Report struct {
 	// idle draw of unused nodes.
 	AvgSysPowerKW   float64
 	AvgTotalPowerKW float64
+
+	// Users is the number of distinct attributed job owners (Job.User > 0)
+	// among the completed jobs; TopUserShare is the heaviest owner's share
+	// of attributed node-seconds in [0,1]. Both are zero on unattributed
+	// workloads, so reports without the zipf axis are unchanged.
+	Users        int
+	TopUserShare float64
 }
 
 // Collect builds a Report from a finished simulation. powerResource is the
@@ -52,9 +59,26 @@ func Collect(method, workload string, s *sim.Simulator, powerResource int) Repor
 	r.MakespanSec = end - start
 
 	var waitSum, sdSum float64
+	userWork := make(map[int]float64) // attributed node-seconds per owner
 	for _, j := range s.Finished() {
 		waitSum += j.Wait()
 		sdSum += j.Slowdown()
+		if j.User > 0 {
+			userWork[j.User] += float64(j.Demand[0]) * j.Runtime
+		}
+	}
+	if len(userWork) > 0 {
+		r.Users = len(userWork)
+		var top, total float64
+		for _, w := range userWork {
+			total += w
+			if w > top {
+				top = w
+			}
+		}
+		if total > 0 {
+			r.TopUserShare = top / total
+		}
 	}
 	r.Jobs = len(s.Finished())
 	if r.Jobs > 0 {
@@ -80,6 +104,9 @@ func (r Report) String() string {
 		r.Method, r.Workload, fmtUtil(r.Utilization), r.AvgWaitHours(), r.AvgSlowdown, r.Jobs)
 	if r.AvgSysPowerKW > 0 {
 		s += fmt.Sprintf(" power=%.1fkW", r.AvgSysPowerKW)
+	}
+	if r.Users > 0 {
+		s += fmt.Sprintf(" users=%d top=%.0f%%", r.Users, r.TopUserShare*100)
 	}
 	return s
 }

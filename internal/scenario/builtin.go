@@ -38,49 +38,123 @@ func fromMix(sc workload.Scenario) ScenarioSpec {
 	}
 }
 
-// ByName resolves a scenario name: a builtin ("S4"), or a builtin with
-// theta-variant suffixes ("S4@wtn=0.5", "S4@div=16,ia=0.75"). Variant keys
-// are the Axes() names or their short forms: div, ia (interarrival), wtn
-// (walltime-noise).
+// TraceBuiltins returns the cross-machine transfer family: the Table III
+// mixes T1-T5 (mirroring S1-S5) applied to the builtin "t1" ingested trace
+// instead of the synthetic generator. Each T-scenario is its own family —
+// training on it trains against the trace — while transfer evaluation of
+// an S-family model uses a method's Model file, so the per-family training
+// contract is untouched.
+func TraceBuiltins() []ScenarioSpec {
+	var out []ScenarioSpec
+	for i, sc := range workload.Scenarios() {
+		sp := fromMix(sc)
+		sp.Name = fmt.Sprintf("T%d", i+1)
+		sp.Trace = "t1"
+		sp.Description = fmt.Sprintf("the %s burst-buffer mix replayed over the ingested t1 trace (cross-machine transfer)", sc.Name)
+		out = append(out, sp)
+	}
+	return out
+}
+
+// ByName resolves a scenario name: a builtin ("S4", trace family "T4"), or
+// a builtin with variant suffixes ("S4@wtn=0.5", "S4@zipf=0.9,burst=5x0.25").
+// Variant keys are the Axes() names or their short forms — div, ia
+// (interarrival), wtn (walltime-noise), zipf (zipf-theta) — plus burst,
+// whose value is <factor>x<fraction>. Each axis may appear once; empty
+// entries (trailing or doubled commas) and unknown keys are rejected with
+// the offending token named.
 func ByName(name string) (ScenarioSpec, error) {
 	base, suffix, hasVariant := strings.Cut(name, "@")
 	var spec ScenarioSpec
 	found := false
-	for _, s := range Builtins() {
+	for _, s := range append(Builtins(), TraceBuiltins()...) {
 		if s.Name == base {
 			spec, found = s, true
 			break
 		}
 	}
 	if !found {
-		return ScenarioSpec{}, fmt.Errorf("scenario: unknown scenario %q (builtins: S1-S10)", base)
+		return ScenarioSpec{}, fmt.Errorf("scenario: unknown scenario %q (builtins: S1-S10, trace family T1-T5)", base)
 	}
 	if !hasVariant {
 		return spec, nil
 	}
+	seen := make(map[string]bool)
 	for _, part := range strings.Split(suffix, ",") {
+		if part == "" {
+			return ScenarioSpec{}, fmt.Errorf("scenario: variant list %q has an empty entry (trailing or doubled comma)", suffix)
+		}
 		key, valStr, ok := strings.Cut(part, "=")
 		if !ok {
 			return ScenarioSpec{}, fmt.Errorf("scenario: variant %q is not key=value", part)
 		}
-		val, err := strconv.ParseFloat(valStr, 64)
-		if err != nil {
-			return ScenarioSpec{}, fmt.Errorf("scenario: variant %s value %q: %w", key, valStr, err)
+		canon, ok := canonicalAxis(key)
+		if !ok {
+			return ScenarioSpec{}, fmt.Errorf("scenario: unknown variant axis %q in %q (want div, interarrival/ia, walltime-noise/wtn, zipf-theta/zipf, or burst)", key, part)
 		}
-		spec, err = Variant(spec, key, val)
+		if seen[canon] {
+			return ScenarioSpec{}, fmt.Errorf("scenario: variant axis %q appears twice in %q", key, suffix)
+		}
+		seen[canon] = true
+		var err error
+		if canon == AxisBurst {
+			spec, err = parseBurstVariant(spec, valStr)
+		} else {
+			var val float64
+			val, err = strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				return ScenarioSpec{}, fmt.Errorf("scenario: variant %s value %q: %w", key, valStr, err)
+			}
+			spec, err = Variant(spec, canon, val)
+		}
 		if err != nil {
 			return ScenarioSpec{}, err
 		}
 	}
+	if err := spec.Validate(); err != nil {
+		return ScenarioSpec{}, err
+	}
 	return spec, nil
 }
 
-// The three theta-variant axis names.
+func parseBurstVariant(base ScenarioSpec, valStr string) (ScenarioSpec, error) {
+	factorStr, fracStr, ok := strings.Cut(valStr, "x")
+	if !ok {
+		return ScenarioSpec{}, fmt.Errorf("scenario: burst variant value %q is not <factor>x<fraction> (e.g. burst=5x0.25)", valStr)
+	}
+	factor, ferr := strconv.ParseFloat(factorStr, 64)
+	frac, perr := strconv.ParseFloat(fracStr, 64)
+	if ferr != nil || perr != nil {
+		return ScenarioSpec{}, fmt.Errorf("scenario: burst variant value %q: factor and fraction must both be numbers", valStr)
+	}
+	return BurstVariant(base, factor, frac)
+}
+
+// The variant axis names.
 const (
 	AxisDiv           = "div"
 	AxisInterarrival  = "interarrival"
 	AxisWalltimeNoise = "walltime-noise"
+	AxisZipf          = "zipf-theta"
+	AxisBurst         = "burst"
 )
+
+// canonicalAxis maps an axis name or short form to its canonical name.
+func canonicalAxis(key string) (string, bool) {
+	switch key {
+	case AxisDiv:
+		return AxisDiv, true
+	case AxisInterarrival, "ia":
+		return AxisInterarrival, true
+	case AxisWalltimeNoise, "wtn":
+		return AxisWalltimeNoise, true
+	case AxisZipf, "zipf":
+		return AxisZipf, true
+	case AxisBurst:
+		return AxisBurst, true
+	}
+	return "", false
+}
 
 // Axis is one theta-variant dimension with its default ladder of values.
 type Axis struct {
@@ -108,6 +182,11 @@ func Axes() []Axis {
 			Name: AxisWalltimeNoise, Short: "wtn",
 			Description: "walltime-estimate noise: multiplicative lognormal sigma on user estimates at evaluation",
 			Values:      []float64{0.25, 0.5},
+		},
+		{
+			Name: AxisZipf, Short: "zipf",
+			Description: "zipf user skew: label jobs with user ids drawn Zipf(theta) over a fixed population (0 = uniform; accounting only, schedulers stay user-blind)",
+			Values:      []float64{0.5, 0.9, 0.99},
 		},
 	}
 }
@@ -138,11 +217,44 @@ func Variant(base ScenarioSpec, axis string, value float64) (ScenarioSpec, error
 		}
 		out.WalltimeNoiseSigma = value
 		short = "wtn"
+	case AxisZipf, "zipf":
+		if value < 0 || math.IsNaN(value) || math.IsInf(value, 0) {
+			return ScenarioSpec{}, fmt.Errorf("scenario: zipf-theta variant value %g must be a finite value >= 0", value)
+		}
+		out.ZipfTheta = value
+		out.ZipfUsers = workload.DefaultZipfUsers
+		short = "zipf"
 	default:
-		return ScenarioSpec{}, fmt.Errorf("scenario: unknown variant axis %q (want div, interarrival/ia, or walltime-noise/wtn)", axis)
+		return ScenarioSpec{}, fmt.Errorf("scenario: unknown variant axis %q (want div, interarrival/ia, walltime-noise/wtn, or zipf-theta/zipf; burst uses BurstVariant)", axis)
 	}
-	out.Name = fmt.Sprintf("%s@%s=%s", base.Name, short, trimFloat(value))
+	out.Name = variantName(base.Name, fmt.Sprintf("%s=%s", short, trimFloat(value)))
 	return out, nil
+}
+
+// BurstVariant derives a bursty-arrival variant: Variant's counterpart for
+// the two-component burst axis (factor = in-burst rate multiplier, frac =
+// stationary burst fraction; see BurstSpec). Like Variant, the name gains a
+// suffix and the family pins to the base.
+func BurstVariant(base ScenarioSpec, factor, frac float64) (ScenarioSpec, error) {
+	out := base
+	out.Family = base.FamilyName()
+	b := &BurstSpec{Factor: factor, Frac: frac}
+	if err := b.Validate(); err != nil {
+		return ScenarioSpec{}, fmt.Errorf("scenario: %s variant of %s: %w", AxisBurst, base.Name, err)
+	}
+	out.Burst = b
+	out.Name = variantName(base.Name, fmt.Sprintf("burst=%sx%s", trimFloat(factor), trimFloat(frac)))
+	return out, nil
+}
+
+// variantName appends one key=value token to a scenario name: the first
+// token opens the @-suffix, later ones join it comma-separated, so chained
+// variants produce exactly the ByName syntax and round-trip through it.
+func variantName(baseName, token string) string {
+	if strings.Contains(baseName, "@") {
+		return baseName + "," + token
+	}
+	return baseName + "@" + token
 }
 
 // QuickScaleSpec is the CI-sized campaign sizing: a 1/32 Theta and a
@@ -239,9 +351,45 @@ func ThetaVariantCampaign(scale ScaleSpec) CampaignSpec {
 	}
 	return CampaignSpec{
 		Name:        "theta-variants",
-		Description: "S4 stressed along the div / interarrival / walltime-noise axes under the training-free methods",
+		Description: "S4 stressed along the div / interarrival / walltime-noise / zipf axes under the training-free methods",
 		Scale:       scale,
 		Scenarios:   variants,
+		Methods: []MethodSpec{
+			{Kind: KindHeuristic},
+			{Kind: KindOptimize},
+		},
+	}
+}
+
+// ThetaSkewCampaign sweeps the realism axes over the S4 family: the Zipf
+// user-skew theta ladder 0 -> 0.99 (0 = uniform baseline over the same
+// population) plus two bursty-arrival settings, next to plain S4 as the
+// unattributed reference, under the training-free methods.
+func ThetaSkewCampaign(scale ScaleSpec) CampaignSpec {
+	base, err := ByName("S4")
+	if err != nil {
+		panic(err) // builtin table broken
+	}
+	scenarios := []ScenarioSpec{base}
+	for _, theta := range []float64{0, 0.5, 0.9, 0.99} {
+		sp, err := Variant(base, AxisZipf, theta)
+		if err != nil {
+			panic(err) // ladder values must be valid zipf thetas
+		}
+		scenarios = append(scenarios, sp)
+	}
+	for _, b := range []struct{ factor, frac float64 }{{4, 0.3}, {8, 0.2}} {
+		sp, err := BurstVariant(base, b.factor, b.frac)
+		if err != nil {
+			panic(err) // ladder values must be valid burst settings
+		}
+		scenarios = append(scenarios, sp)
+	}
+	return CampaignSpec{
+		Name:        "theta-skew",
+		Description: "S4 under the realistic-workload axes: the zipf user-skew theta ladder and Markov-modulated bursty arrivals, training-free methods",
+		Scale:       scale,
+		Scenarios:   scenarios,
 		Methods: []MethodSpec{
 			{Kind: KindHeuristic},
 			{Kind: KindOptimize},
@@ -252,7 +400,7 @@ func ThetaVariantCampaign(scale ScaleSpec) CampaignSpec {
 // BuiltinCampaigns returns the named campaigns -dump-campaign can emit, at
 // the given sizing.
 func BuiltinCampaigns(scale ScaleSpec) []CampaignSpec {
-	return []CampaignSpec{PaperCampaign(scale), ThetaVariantCampaign(scale)}
+	return []CampaignSpec{PaperCampaign(scale), ThetaVariantCampaign(scale), ThetaSkewCampaign(scale)}
 }
 
 // CampaignByName resolves a builtin campaign name at the given sizing.
@@ -262,5 +410,5 @@ func CampaignByName(name string, scale ScaleSpec) (CampaignSpec, error) {
 			return c, nil
 		}
 	}
-	return CampaignSpec{}, fmt.Errorf("scenario: unknown campaign %q (builtins: paper, theta-variants)", name)
+	return CampaignSpec{}, fmt.Errorf("scenario: unknown campaign %q (builtins: paper, theta-variants, theta-skew)", name)
 }

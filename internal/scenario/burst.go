@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// DefaultBurstDwell is the mean burst run length, in arrivals, a BurstSpec
+// implies when it doesn't choose its own.
+const DefaultBurstDwell = 16
+
+// BurstSpec is the declarative form of the Markov-modulated bursty-arrival
+// axis (workload.Burst): specs state the two observable quantities — how
+// much denser arrivals get and how much of the trace is bursty — and the
+// conversion to chain parameters lives in Config, so every campaign derives
+// the transition probabilities the same way.
+type BurstSpec struct {
+	// Factor is the arrival-rate multiplier inside a burst: gaps shrink to
+	// 1/Factor of the calm mean. Factor 1 is the degenerate chain whose two
+	// states are indistinguishable (the metamorphic identity the generator
+	// suite pins against the plain interarrival axis).
+	Factor float64 `json:"factor"`
+	// Frac is the stationary fraction of arrivals drawn in the burst state,
+	// strictly between 0 and 1.
+	Frac float64 `json:"frac"`
+	// Dwell is the mean burst run length in arrivals (geometric); zero means
+	// DefaultBurstDwell.
+	Dwell float64 `json:"dwell,omitempty"`
+}
+
+func (b BurstSpec) dwell() float64 {
+	if b.Dwell > 0 {
+		return b.Dwell
+	}
+	return DefaultBurstDwell
+}
+
+// Validate rejects parameters with no consistent two-state chain.
+func (b BurstSpec) Validate() error {
+	if !(b.Factor >= 1) {
+		return fmt.Errorf("burst factor %g must be >= 1 (1 = no modulation)", b.Factor)
+	}
+	if !(b.Frac > 0) || b.Frac >= 1 {
+		return fmt.Errorf("burst frac %g outside (0,1)", b.Frac)
+	}
+	if b.Dwell < 0 {
+		return fmt.Errorf("burst dwell %g must be >= 0 (0 = default %d)", b.Dwell, DefaultBurstDwell)
+	}
+	if d := b.dwell(); b.Frac/(1-b.Frac) > d {
+		return fmt.Errorf("burst frac %g needs a calm->burst probability above 1 at dwell %g; raise dwell or lower frac",
+			b.Frac, d)
+	}
+	return nil
+}
+
+// Config converts the spec to chain parameters. The calm state keeps the
+// campaign's mean interarrival (scale 1) and the burst state compresses it
+// by Factor; transition probabilities are solved from (Frac, Dwell):
+// P(exit) = 1/Dwell gives the dwell, and P(enter) = Frac/(1-Frac)/Dwell
+// makes Frac the stationary burst probability.
+func (b BurstSpec) Config() workload.Burst {
+	d := b.dwell()
+	return workload.Burst{
+		CalmScale:  1,
+		BurstScale: 1 / b.Factor,
+		PEnter:     b.Frac / (1 - b.Frac) / d,
+		PExit:      1 / d,
+	}
+}
+
+// Describe returns the one-line rendering used by Describe() and -list.
+func (b BurstSpec) Describe() string {
+	return fmt.Sprintf("bursty arrivals %sx denser over %s of submissions (dwell %s)",
+		trimFloat(b.Factor), trimFloat(b.Frac), trimFloat(b.dwell()))
+}

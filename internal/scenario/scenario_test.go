@@ -3,6 +3,7 @@ package scenario
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -63,6 +64,132 @@ func TestByNameVariantSyntax(t *testing.T) {
 		if _, err := ByName(bad); err == nil {
 			t.Fatalf("ByName(%q) accepted", bad)
 		}
+	}
+}
+
+func TestTraceBuiltins(t *testing.T) {
+	specs := TraceBuiltins()
+	if len(specs) != 5 {
+		t.Fatalf("%d trace builtins, want 5", len(specs))
+	}
+	for i, sp := range specs {
+		want := fmt.Sprintf("T%d", i+1)
+		if sp.Name != want {
+			t.Fatalf("trace builtin %d = %s, want %s", i, sp.Name, want)
+		}
+		if sp.Trace != "t1" {
+			t.Fatalf("%s trace = %q, want t1", sp.Name, sp.Trace)
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", sp.Name, err)
+		}
+		if !sp.IsVariant() {
+			t.Fatalf("%s replays a trace but does not report variant materials", sp.Name)
+		}
+		if sp.FamilyName() != sp.Name {
+			t.Fatalf("%s family = %s; trace scenarios are their own family", sp.Name, sp.FamilyName())
+		}
+		back, err := ByName(sp.Name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", sp.Name, err)
+		}
+		if !reflect.DeepEqual(sp, back) {
+			t.Fatalf("ByName(%s) = %+v, want %+v", sp.Name, back, sp)
+		}
+	}
+	// T-mixes mirror the Table III S-mixes row for row.
+	s3, _ := ByName("S3")
+	t3, _ := ByName("T3")
+	if t3.BBProb != s3.BBProb || t3.MinTB != s3.MinTB || t3.MaxTB != s3.MaxTB || t3.HalveNodes != s3.HalveNodes {
+		t.Fatalf("T3 mix drifted from S3: %+v vs %+v", t3, s3)
+	}
+}
+
+func TestByNameNewAxes(t *testing.T) {
+	sp, err := ByName("S4@zipf=0.9,burst=5x0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.ZipfTheta != 0.9 || sp.ZipfUsers == 0 {
+		t.Fatalf("zipf axis not applied: %+v", sp)
+	}
+	if sp.Burst == nil || sp.Burst.Factor != 5 || sp.Burst.Frac != 0.1 {
+		t.Fatalf("burst axis not applied: %+v", sp.Burst)
+	}
+	if sp.FamilyName() != "S4" {
+		t.Fatalf("variant family = %s, want S4", sp.FamilyName())
+	}
+	if sp.Name != "S4@zipf=0.9,burst=5x0.1" {
+		t.Fatalf("variant name = %q; chained variants must reproduce the ByName syntax", sp.Name)
+	}
+	back, err := ByName(sp.Name)
+	if err != nil {
+		t.Fatalf("round-tripping %s: %v", sp.Name, err)
+	}
+	if !reflect.DeepEqual(sp, back) {
+		t.Fatalf("ByName(%s) changed the spec across the round trip", sp.Name)
+	}
+
+	// zipf=0 is a real variant (uniform ownership over the default
+	// population), not a no-op.
+	zero, err := ByName("S4@zipf=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.ZipfTheta != 0 || zero.ZipfUsers == 0 || !zero.IsVariant() {
+		t.Fatalf("zipf=0 variant: %+v", zero)
+	}
+}
+
+// The satellite contract: every malformed variant list is rejected loudly,
+// naming the offending token.
+func TestByNameVariantErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		want string // substring the error must carry (the offending token)
+	}{
+		{"S4@bogus=1", "bogus"},
+		{"S4@zipf=0.5,zipf=0.9", "twice"},
+		{"S4@zipf=0.5,zipf-theta=0.9", "twice"}, // short and long form are one axis
+		{"S4@ia=2,interarrival=0.5", "twice"},
+		{"S4@burst=5", "5"},         // missing the x separator
+		{"S4@burst=ax0.1", "ax0.1"}, // non-numeric factor
+		{"S4@burst=0.5x0.1", "0.5"}, // factor below 1
+		{"S4@burst=4x1.5", "1.5"},   // fraction outside (0,1)
+		{"S4@ia=abc", "abc"},
+		{"S4@zipf=0.5,", "empty"},
+		{"S4@,zipf=0.5", "empty"},
+		{"S4@zipf=0.5,,ia=2", "empty"},
+		{"S4@zipf=-1", "-1"},
+		{"T4@burst=4x0.1", "mutually exclusive"}, // trace carries its own arrivals
+		{"T9", "unknown"},
+	}
+	for _, tc := range cases {
+		_, err := ByName(tc.name)
+		if err == nil {
+			t.Fatalf("ByName(%q) accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("ByName(%q) error %q does not name the offending token %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestThetaSkewCampaign(t *testing.T) {
+	c := ThetaSkewCampaign(TinyScaleSpec())
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Scenarios) != 7 {
+		t.Fatalf("%d scenarios, want 7 (S4 + zipf ladder 0/0.5/0.9/0.99 + two burst settings)", len(c.Scenarios))
+	}
+	for _, sp := range c.Scenarios {
+		if sp.FamilyName() != "S4" {
+			t.Fatalf("%s family = %s, want S4", sp.Name, sp.FamilyName())
+		}
+	}
+	if _, err := CampaignByName("theta-skew", TinyScaleSpec()); err != nil {
+		t.Fatalf("theta-skew not registered: %v", err)
 	}
 }
 

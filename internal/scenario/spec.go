@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -49,6 +50,20 @@ type ScenarioSpec struct {
 	Div                int     `json:"div,omitempty"`
 	InterarrivalScale  float64 `json:"interarrival_scale,omitempty"`
 	WalltimeNoiseSigma float64 `json:"walltime_noise_sigma,omitempty"`
+
+	// ZipfTheta/ZipfUsers label the workload's jobs with Zipf-skewed user
+	// ownership: ZipfUsers > 0 enables the axis (theta 0 = uniform over that
+	// population). Ownership is metadata — schedulers stay user-blind — so
+	// the axis perturbs per-user accounting, never placement.
+	ZipfTheta float64 `json:"zipf_theta,omitempty"`
+	ZipfUsers int     `json:"zipf_users,omitempty"`
+	// Burst modulates the base trace's arrivals with a two-state Markov
+	// chain (see BurstSpec); nil means Poisson-with-diurnal-profile only.
+	Burst *BurstSpec `json:"burst,omitempty"`
+	// Trace replaces the synthetic base trace with an ingested SWF log: a
+	// builtin trace name (workload.BuiltinTraces) or an SWF file path. The
+	// T-family scenarios use this for cross-machine transfer evaluation.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Arity is the number of schedulable resources the scenario needs.
@@ -72,7 +87,10 @@ func (s ScenarioSpec) FamilyName() string {
 func (s ScenarioSpec) IsVariant() bool {
 	return s.Div > 0 ||
 		(s.InterarrivalScale > 0 && s.InterarrivalScale != 1) ||
-		s.WalltimeNoiseSigma > 0
+		s.WalltimeNoiseSigma > 0 ||
+		s.ZipfUsers > 0 ||
+		s.Burst != nil ||
+		s.Trace != ""
 }
 
 // Mix converts the spec to the workload-layer Table III transform.
@@ -117,6 +135,15 @@ func (s ScenarioSpec) Describe() string {
 	if s.WalltimeNoiseSigma > 0 {
 		parts = append(parts, fmt.Sprintf("walltime noise sigma %s", trimFloat(s.WalltimeNoiseSigma)))
 	}
+	if s.ZipfUsers > 0 {
+		parts = append(parts, fmt.Sprintf("zipf user skew theta %s over %d users", trimFloat(s.ZipfTheta), s.ZipfUsers))
+	}
+	if s.Burst != nil {
+		parts = append(parts, s.Burst.Describe())
+	}
+	if s.Trace != "" {
+		parts = append(parts, fmt.Sprintf("replays trace %s", s.Trace))
+	}
 	return strings.Join(parts, ", ")
 }
 
@@ -157,6 +184,24 @@ func (s ScenarioSpec) Validate() error {
 	}
 	if s.WalltimeNoiseSigma < 0 {
 		return fmt.Errorf("scenario %s: walltime_noise_sigma %g must be >= 0", s.Name, s.WalltimeNoiseSigma)
+	}
+	if s.ZipfUsers < 0 {
+		return fmt.Errorf("scenario %s: zipf_users %d must be >= 0 (0 disables the axis)", s.Name, s.ZipfUsers)
+	}
+	if s.ZipfTheta < 0 || math.IsNaN(s.ZipfTheta) || math.IsInf(s.ZipfTheta, 0) {
+		return fmt.Errorf("scenario %s: zipf_theta %g must be a finite value >= 0", s.Name, s.ZipfTheta)
+	}
+	if s.ZipfTheta != 0 && s.ZipfUsers == 0 {
+		return fmt.Errorf("scenario %s: zipf_theta set without zipf_users (the population size; the zipf variant syntax implies %d)",
+			s.Name, workload.DefaultZipfUsers)
+	}
+	if s.Burst != nil {
+		if s.Trace != "" {
+			return fmt.Errorf("scenario %s: trace and burst are mutually exclusive (a replayed trace carries its own arrival process)", s.Name)
+		}
+		if err := s.Burst.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
 	}
 	return nil
 }
@@ -290,6 +335,16 @@ type ScaleSpec struct {
 	EpsDecay float64 `json:"eps_decay"`
 	// Seed roots all randomness.
 	Seed int64 `json:"seed"`
+	// Burst, when set, modulates the campaign's shared base trace — and the
+	// training curriculum derived from it — with the two-state bursty
+	// arrival chain, so models can be trained on bursty workloads rather
+	// than only evaluated against them. Scenario-level burst overrides win
+	// for that scenario's materials.
+	Burst *BurstSpec `json:"burst,omitempty"`
+	// Trace replaces the campaign's synthetic base trace with an ingested
+	// SWF log (builtin trace name or file path). Mutually exclusive with
+	// Burst: a replayed trace carries its own arrival process.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Validate rejects sizing that would silently generate a degenerate trace
@@ -318,6 +373,14 @@ func (s ScaleSpec) Validate() error {
 	}
 	if s.EpsDecay <= 0 || s.EpsDecay > 1 {
 		return fmt.Errorf("scale %s: eps_decay %g outside (0,1]", s.Name, s.EpsDecay)
+	}
+	if s.Burst != nil {
+		if s.Trace != "" {
+			return fmt.Errorf("scale %s: trace and burst are mutually exclusive (a replayed trace carries its own arrival process)", s.Name)
+		}
+		if err := s.Burst.Validate(); err != nil {
+			return fmt.Errorf("scale %s: %w", s.Name, err)
+		}
 	}
 	return nil
 }

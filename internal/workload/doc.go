@@ -10,6 +10,27 @@
 // 4392-node machine and CI-sized replicas share one code path, with demands
 // expressed as capacity fractions to preserve contention levels.
 //
+// # Realism axes
+//
+// Beyond the uniform Table III stressors, three axes push a trace toward
+// what production logs look like. Zipf user skew (zipf.go) labels jobs
+// with owners drawn from a Zipf distribution over a fixed population —
+// pure accounting metadata, since schedulers are user-blind by the
+// internal/job contract. Bursty arrivals (burst.go) modulate the
+// generator's exponential gaps with a two-state calm/burst Markov chain,
+// the discrete-time form of a Markov-modulated Poisson process; the chain
+// draws from a private stream, so a modulated trace's job bodies are
+// byte-identical to the unmodulated one, a chain with equal scales is
+// byte-identical to plain interarrival scaling, and unit scales are a
+// no-op — the metamorphic identities generators_test.go pins. Trace
+// ingestion (traces.go) replays a committed SWF excerpt from another
+// machine (LoadTraceBase): demands are rescaled as source-machine
+// fractions onto the target system, arrivals rebased and gap-normalized,
+// users preserved — the T1-T5 scenario family that measures cross-machine
+// policy transfer. All three are driven by internal/scenario spec fields
+// (zipf_theta/zipf_users, burst, trace) and their variant syntax
+// ("S4@zipf=0.9,burst=5x0.25").
+//
 // # Determinism and seeding
 //
 // Every generator and transform in this package takes an explicit seed and

@@ -66,7 +66,9 @@ func RealSets(train []*job.Job, n, size int) [][]*job.Job {
 // SyntheticSets generates n fresh sets of ~size jobs from the Theta-like
 // generator (new seeds per set), then reassigns burst buffer with the same
 // Darshan statistics — previously unseen arrival patterns and job mixes.
-func SyntheticSets(sys cluster.Config, sc Scenario, n, size int, meanGap float64, seed int64) [][]*job.Job {
+// A non-nil burst modulates each set's arrivals with the two-state chain
+// (per-set chain streams), so bursty campaigns train on bursty curricula.
+func SyntheticSets(sys cluster.Config, sc Scenario, n, size int, meanGap float64, seed int64, burst *Burst) [][]*job.Job {
 	sets := make([][]*job.Job, n)
 	for s := range sets {
 		gcfg := GeneratorConfig{
@@ -74,6 +76,7 @@ func SyntheticSets(sys cluster.Config, sc Scenario, n, size int, meanGap float64
 			Duration:         float64(size) * meanGap * 2,
 			MeanInterarrival: meanGap,
 			Seed:             seed + int64(s)*101,
+			Burst:            burst,
 		}
 		base := GenerateBase(gcfg)
 		if len(base) > size {

@@ -79,6 +79,11 @@ type GeneratorConfig struct {
 	MeanInterarrival float64
 	// Seed fixes the generator.
 	Seed int64
+	// Burst, when non-nil, modulates MeanInterarrival with a two-state
+	// calm/burst Markov chain advanced once per arrival (see burst.go).
+	// The chain draws from its own Seed-derived stream, so every non-gap
+	// property of the trace is identical to the unmodulated run.
+	Burst *Burst
 }
 
 // DefaultGenerator returns experiment-scale settings for a system: a two-day
@@ -110,11 +115,22 @@ func GenerateBase(cfg GeneratorConfig) []*job.Job {
 	nodes := cfg.System.Capacities[0]
 	resources := len(cfg.System.Capacities)
 
+	var chain *burstChain
+	if cfg.Burst != nil {
+		chain = newBurstChain(*cfg.Burst, cfg.Seed)
+	}
 	var jobs []*job.Job
 	id := 1
 	t := 0.0
 	for {
-		t += nextInterarrival(rng, cfg.MeanInterarrival, t)
+		mean := cfg.MeanInterarrival
+		if chain != nil {
+			// Computed per arrival so that equal calm/burst scales yield
+			// the exact double the premultiplied (ia-axis) path computes —
+			// the byte-identity the generator suite pins.
+			mean = cfg.MeanInterarrival * chain.next()
+		}
+		t += nextInterarrival(rng, mean, t)
 		if t >= cfg.Duration {
 			break
 		}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"bytes"
+	_ "embed"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+)
+
+// Second-trace scenario families. The paper evaluates on Theta-derived
+// workloads only; the T-family scenarios (internal/scenario) replay an
+// ingested SWF log from a different machine instead of the synthetic
+// generator, so a Theta-trained policy can be evaluated cross-machine.
+// Because the MRSch state vector is sized by the target system's
+// capacities, the source machine's node demands are mapped onto the scaled
+// system as capacity fractions — the same convention ThetaScaled uses —
+// which preserves contention while keeping the state encoding (and thus
+// any trained model) unchanged.
+
+// t1SWF is the committed excerpt backing the builtin "t1" trace: a
+// synthetic SWF log in the style of a 2048-node, 16-cores-per-node cluster
+// (produced by this package's generator under a different machine shape,
+// arrival density, and Zipf-skewed user mix — a test fixture, not real
+// operational data; see the file header).
+//
+//go:embed traces/t1.swf
+var t1SWF []byte
+
+// TraceInfo describes one builtin ingestible trace.
+type TraceInfo struct {
+	Name        string
+	Description string
+	// Nodes and ProcsPerNode describe the source machine: ProcsPerNode
+	// divides SWF processor counts into nodes, Nodes is the machine size
+	// demands are normalized against when mapping onto a target system.
+	Nodes        int
+	ProcsPerNode int
+	data         []byte
+}
+
+// BuiltinTraces lists the traces LoadTraceBase resolves by name.
+func BuiltinTraces() []TraceInfo {
+	return []TraceInfo{
+		{
+			Name:         "t1",
+			Description:  "committed excerpt of a 2048-node cluster log (synthetic fixture; cross-machine transfer family)",
+			Nodes:        2048,
+			ProcsPerNode: 16,
+			data:         t1SWF,
+		},
+	}
+}
+
+// TraceByName resolves a builtin trace.
+func TraceByName(name string) (TraceInfo, bool) {
+	for _, tr := range BuiltinTraces() {
+		if tr.Name == name {
+			return tr, true
+		}
+	}
+	return TraceInfo{}, false
+}
+
+// LoadTraceBase ingests an SWF trace as a base workload for sys: ref is a
+// builtin trace name or an SWF file path. Node demands are rescaled from
+// the source machine onto sys.Capacities[0] as capacity fractions (clamped
+// to [1, capacity]); arrivals are rebased to zero and linearly rescaled so
+// the mean submit gap equals meanInterarrival, then truncated at duration —
+// the same two knobs that shape the synthetic base trace. Walltimes are
+// floored at the runtime (real logs contain underestimates; the generator's
+// invariant is estimates bound runtimes). Non-node demands start at zero
+// (AssignDarshanBB fills burst buffer, as for generated traces); user ids
+// from the log are preserved. The result is deterministic: no rng is
+// involved anywhere.
+func LoadTraceBase(ref string, sys cluster.Config, duration, meanInterarrival float64) ([]*job.Job, error) {
+	var (
+		r        io.Reader
+		srcNodes int
+		ppn      = 1
+	)
+	if tr, ok := TraceByName(ref); ok {
+		r = bytes.NewReader(tr.data)
+		srcNodes = tr.Nodes
+		ppn = tr.ProcsPerNode
+	} else {
+		f, err := os.Open(ref)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace %q is neither a builtin trace (%v) nor a readable SWF file: %w",
+				ref, builtinTraceNames(), err)
+		}
+		defer f.Close()
+		r = f
+	}
+	jobs, _, err := job.ReadSWF(r, job.SWFOptions{ProcsPerNode: ppn, Resources: len(sys.Capacities)})
+	if err != nil {
+		return nil, fmt.Errorf("workload: trace %s: %w", ref, err)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("workload: trace %s has no usable records", ref)
+	}
+	if srcNodes <= 0 {
+		// File-path traces don't declare a machine size: use the largest
+		// observed job as the normalization base.
+		for _, j := range jobs {
+			if j.Demand[0] > srcNodes {
+				srcNodes = j.Demand[0]
+			}
+		}
+	}
+
+	cap0 := sys.Capacities[0]
+	t0 := jobs[0].Submit
+	gapScale := 1.0
+	if len(jobs) > 1 {
+		if span := jobs[len(jobs)-1].Submit - t0; span > 0 {
+			gapScale = meanInterarrival * float64(len(jobs)-1) / span
+		}
+	}
+	out := jobs[:0]
+	for _, j := range jobs {
+		j.Submit = (j.Submit - t0) * gapScale
+		if j.Submit >= duration {
+			break // sorted: everything after is out of range too
+		}
+		n := int(math.Round(float64(j.Demand[0]) / float64(srcNodes) * float64(cap0)))
+		if n < 1 {
+			n = 1
+		}
+		if n > cap0 {
+			n = cap0
+		}
+		j.Demand[0] = n
+		if j.Walltime < j.Runtime {
+			j.Walltime = j.Runtime
+		}
+		out = append(out, j)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: trace %s: no records inside the %gs trace duration", ref, duration)
+	}
+	return out, nil
+}
+
+func builtinTraceNames() []string {
+	var names []string
+	for _, tr := range BuiltinTraces() {
+		names = append(names, tr.Name)
+	}
+	return names
+}

@@ -12,12 +12,16 @@ import (
 // re-snapped to the 15-minute request grid the generator uses and floored
 // at the actual runtime — estimates stay upper bounds of the true runtime,
 // the invariant the generator maintains and reservation/backfilling
-// planning assumes. sigma <= 0 returns the input unchanged. Arrivals,
-// runtimes, and demands are untouched: this is the walltime-estimate-noise
-// theta axis, degrading only the information schedulers plan with.
+// planning assumes. sigma <= 0 is an exact identity: fresh clones with
+// every field byte-equal to the input and no rng draws consumed, so a
+// wtn=0 variant can never drift from its base scenario (and, like the
+// sigma > 0 path, the caller may mutate the result without aliasing the
+// input). Arrivals, runtimes, and demands are untouched: this is the
+// walltime-estimate-noise theta axis, degrading only the information
+// schedulers plan with.
 func NoiseWalltimes(jobs []*job.Job, sigma float64, seed int64) []*job.Job {
 	if sigma <= 0 {
-		return jobs
+		return job.CloneAll(jobs)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]*job.Job, len(jobs))

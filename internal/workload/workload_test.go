@@ -359,7 +359,7 @@ func TestRealSetsPreserveSpacing(t *testing.T) {
 func TestSyntheticSets(t *testing.T) {
 	sys := ThetaScaled(16)
 	s1, _ := ScenarioByName("S1")
-	sets := SyntheticSets(sys, s1, 2, 30, 60, 27)
+	sets := SyntheticSets(sys, s1, 2, 30, 60, 27, nil)
 	for _, set := range sets {
 		if len(set) == 0 || len(set) > 30 {
 			t.Fatalf("synthetic set size %d", len(set))
